@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+
+	gistdb "repro"
+	"repro/internal/btree"
+	"repro/internal/page"
+	"repro/internal/predicate"
+	"repro/internal/wal"
+)
+
+func gistdbTxn(s int) page.TxnID { return page.TxnID(s + 1) }
+func pageID(n int) page.PageID   { return page.PageID(n) }
+
+var _ = predicate.Search // (documented dependency of expPredicates)
+
+// crashAfterFirst crashes the in-memory database right after the first
+// occurrence of the given record type following the bootstrap transaction,
+// recovers, and returns the recovered database along with the number of
+// index keys that the surviving log says should exist (committed inserts
+// minus committed deletes).
+func crashAfterFirst(db *gistdb.DB, typ wal.RecType) (*gistdb.DB, int, error) {
+	// Place the crash point only after the index fully exists: the
+	// bootstrap, tree-creation and catalog transactions contribute the
+	// first three End records (cutting inside creation would just mean
+	// the index was never created — recovery handles that too, but it is
+	// not the scenario this matrix measures).
+	ends := 0
+	var cut page.LSN
+	db.WAL().Scan(1, func(r *wal.Record) bool {
+		if ends < 3 {
+			if r.Type == wal.RecEnd {
+				ends++
+			}
+			return true
+		}
+		if r.Type == typ {
+			cut = r.LSN
+			return false
+		}
+		return true
+	})
+	if cut == 0 {
+		return nil, 0, fmt.Errorf("workload produced no %v record", typ)
+	}
+	db2, err := db.SimulateCrashAtLSN(cut)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Expected keys from the survivor log.
+	committed := make(map[page.TxnID]bool)
+	inserted := make(map[page.TxnID][]int64)
+	deleted := make(map[page.TxnID][]int64)
+	db2.WAL().Scan(1, func(r *wal.Record) bool {
+		switch r.Type {
+		case wal.RecCommit:
+			committed[r.Txn] = true
+		case wal.RecAddLeafEntry:
+			if e, err := page.DecodeEntry(r.Body, true); err == nil {
+				inserted[r.Txn] = append(inserted[r.Txn], btree.DecodeKey(e.Pred))
+			}
+		case wal.RecMarkLeafEntry:
+			if e, err := page.DecodeEntry(r.Body, true); err == nil {
+				deleted[r.Txn] = append(deleted[r.Txn], btree.DecodeKey(e.Pred))
+			}
+		}
+		return true
+	})
+	want := make(map[int64]bool)
+	for txid, keys := range inserted {
+		if committed[txid] {
+			for _, k := range keys {
+				want[k] = true
+			}
+		}
+	}
+	for txid, keys := range deleted {
+		if committed[txid] {
+			for _, k := range keys {
+				delete(want, k)
+			}
+		}
+	}
+	return db2, len(want), nil
+}

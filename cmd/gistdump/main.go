@@ -1,0 +1,110 @@
+// Command gistdump inspects a file-backed database directory: it prints the
+// catalog, the write-ahead log (with the Table 1 record types), and the
+// structure of each index, and verifies the structural invariants.
+//
+// Usage:
+//
+//	gistdump -dir /path/to/db [-log] [-tree] [-check]
+//
+// The tool opens the database read-only in effect (it runs restart recovery
+// like any opener, then only reads).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gistdb "repro"
+	"repro/internal/btree"
+	"repro/internal/wal"
+)
+
+var (
+	dirFlag   = flag.String("dir", "", "database directory (required)")
+	logFlag   = flag.Bool("log", false, "dump the write-ahead log")
+	treeFlag  = flag.Bool("tree", true, "summarize each index's structure")
+	checkFlag = flag.Bool("check", true, "verify structural invariants")
+	demoFlag  = flag.Bool("demo", false, "populate a demo database in -dir first")
+)
+
+func main() {
+	flag.Parse()
+	if *dirFlag == "" {
+		fmt.Fprintln(os.Stderr, "gistdump: -dir is required")
+		os.Exit(2)
+	}
+	if *demoFlag {
+		makeDemo(*dirFlag)
+	}
+	db, err := gistdb.Open(gistdb.Options{Dir: *dirFlag})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gistdump:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	names, err := db.IndexNames()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gistdump: catalog:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("catalog: %d index(es): %v\n", len(names), names)
+
+	if *logFlag {
+		dumpLog(db)
+	}
+	if *treeFlag || *checkFlag {
+		for _, name := range names {
+			// The dump tool only needs structural access; B-tree ops
+			// satisfy the interface for traversal and the checker
+			// uses the stored predicates verbatim. For non-B-tree
+			// indexes the containment check may not apply; report
+			// and continue.
+			idx, err := db.OpenIndex(name, btree.Ops{})
+			if err != nil {
+				fmt.Printf("index %q: open failed: %v\n", name, err)
+				continue
+			}
+			rep, err := idx.Check()
+			if err != nil {
+				fmt.Printf("index %q: check: %v (non-btree extension?)\n", name, err)
+				continue
+			}
+			fmt.Printf("index %q: anchor=%d root=%d height=%d nodes=%d leaves=%d entries=%d marked=%d orphans=%d\n",
+				name, idx.Anchor(), rep.Root, rep.Height, rep.Nodes, rep.Leaves, rep.Entries, rep.Marked, rep.Orphans)
+		}
+	}
+}
+
+func dumpLog(db *gistdb.DB) {
+	counts := make(map[wal.RecType]int)
+	total := 0
+	db.WAL().Scan(1, func(r *wal.Record) bool {
+		counts[r.Type]++
+		total++
+		fmt.Printf("  %s\n", r)
+		return true
+	})
+	fmt.Printf("log: %d records\n", total)
+	for t, n := range counts {
+		fmt.Printf("  %-28s %d\n", t, n)
+	}
+}
+
+func makeDemo(dir string) {
+	db, err := gistdb.Open(gistdb.Options{Dir: dir, MaxEntries: 8})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gistdump: demo:", err)
+		os.Exit(1)
+	}
+	idx, err := db.CreateIndex("demo", btree.Ops{})
+	if err == nil {
+		for i := 0; i < 200; i++ {
+			tx, _ := db.Begin()
+			idx.Insert(tx, btree.EncodeKey(int64(i)), []byte(fmt.Sprintf("row %d", i)))
+			tx.Commit()
+		}
+	}
+	db.Close()
+}

@@ -1,0 +1,126 @@
+// Command dictionary demonstrates a third access method — a
+// variable-length string B-tree — together with cursors whose positions
+// savepoints record and restore (§10.2 of the paper). It indexes a small
+// English dictionary, runs prefix queries through a cursor, and shows a
+// partial rollback rewinding both the data and an open cursor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gistdb "repro"
+	"repro/internal/strtree"
+)
+
+var entries = map[string]string{
+	"serendipity": "finding something good without looking for it",
+	"petrichor":   "the smell of earth after rain",
+	"saudade":     "melancholic longing for something absent",
+	"sonder":      "realizing each passerby has a life as vivid as your own",
+	"selcouth":    "unfamiliar, rare, strange, yet marvellous",
+	"sempiternal": "eternal and unchanging",
+	"ephemeral":   "lasting a very short time",
+	"limerence":   "the state of being infatuated",
+	"luminous":    "full of or shedding light",
+	"mellifluous": "sweet or musical; pleasant to hear",
+	"meraki":      "doing something with soul, creativity, or love",
+	"nefarious":   "wicked or criminal",
+	"quixotic":    "exceedingly idealistic; unrealistic",
+	"sibilant":    "making or characterized by a hissing sound",
+	"solitude":    "the state of being alone",
+	"sonorous":    "imposingly deep and full (of sound)",
+}
+
+func main() {
+	db, err := gistdb.Open(gistdb.Options{MaxEntries: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	dict, err := db.CreateIndex("dictionary", strtree.Ops{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tx, _ := db.Begin()
+	for word, def := range entries {
+		if _, err := dict.Insert(tx, strtree.EncodeKey([]byte(word)), []byte(def)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tx.Commit()
+	rep, err := dict.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d words (string B-tree GiST: height %d, %d nodes)\n",
+		rep.Entries, rep.Height, rep.Nodes)
+
+	// Prefix query through an incremental cursor.
+	tx2, _ := db.Begin()
+	cur, err := dict.OpenCursor(tx2, strtree.Prefix([]byte("s")), gistdb.RepeatableRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwords starting with 's' (cursor, first 3):")
+	for i := 0; i < 3; i++ {
+		r, ok, err := cur.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		def, _ := dict.Fetch(r.RID)
+		fmt.Printf("  %-12s %s\n", strtree.DecodeKey(r.Key), def)
+	}
+
+	// Savepoint: the cursor position is recorded. A new word is added
+	// inside the scanned prefix, then rolled back — the cursor resumes
+	// exactly where it stood and never sees the phantom.
+	if err := tx2.Savepoint("browsing"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dict.Insert(tx2, strtree.EncodeKey([]byte("squelch")), []byte("a soft sucking sound")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(inserted 'squelch' after a savepoint ... then rolled back)")
+	if err := tx2.RollbackTo("browsing"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("cursor resumes from its recorded position:")
+	count := 3
+	for {
+		r, ok, err := cur.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		word := string(strtree.DecodeKey(r.Key))
+		if word == "squelch" {
+			log.Fatal("rolled-back word visible!")
+		}
+		def, _ := dict.Fetch(r.RID)
+		fmt.Printf("  %-12s %s\n", word, def)
+		count++
+	}
+	cur.Close()
+	tx2.Commit()
+	fmt.Printf("total 's' words seen: %d\n", count)
+
+	// Range query: everything between "m" and "p".
+	tx3, _ := db.Begin()
+	hits, err := dict.Search(tx3, strtree.EncodeRange([]byte("m"), []byte("p")), gistdb.ReadCommitted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwords in [m,p]: %d\n", len(hits))
+	for _, h := range hits {
+		fmt.Printf("  %s\n", strtree.DecodeKey(h.Key))
+	}
+	tx3.Commit()
+}

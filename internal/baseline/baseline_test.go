@@ -1,0 +1,259 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+func newIndex(t *testing.T, proto Protocol, poolSize int) *Index {
+	t.Helper()
+	pool := buffer.New(storage.NewMemDisk(), poolSize, nil)
+	ix, err := New(pool, btree.Ops{}, proto, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func allProtocols() []Protocol { return []Protocol{Coarse, Coupling, Link} }
+
+func TestInsertSearchAllProtocols(t *testing.T) {
+	for _, proto := range allProtocols() {
+		t.Run(proto.String(), func(t *testing.T) {
+			ix := newIndex(t, proto, 128)
+			const n = 300
+			for i := 0; i < n; i++ {
+				k := int64((i * 7919) % n)
+				if err := ix.Insert(btree.EncodeKey(k), page.RID{Page: 1, Slot: uint16(i)}); err != nil {
+					t.Fatalf("insert %d: %v", k, err)
+				}
+			}
+			if got, err := ix.Verify(); err != nil || got != n {
+				t.Fatalf("Verify = %d, %v; want %d", got, err, n)
+			}
+			// Point queries.
+			for k := int64(0); k < n; k++ {
+				rs, err := ix.Search(btree.EncodeRange(k, k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rs) != 1 || btree.DecodeKey(rs[0].Key) != k {
+					t.Fatalf("key %d: %d results", k, len(rs))
+				}
+			}
+			// Range query.
+			rs, err := ix.Search(btree.EncodeRange(10, 19))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs) != 10 {
+				t.Fatalf("range: %d results, want 10", len(rs))
+			}
+			if ix.Splits.Load() == 0 {
+				t.Error("no splits in a 300-key tree with fanout 8")
+			}
+		})
+	}
+}
+
+func TestConcurrentMixAllProtocols(t *testing.T) {
+	for _, proto := range allProtocols() {
+		t.Run(proto.String(), func(t *testing.T) {
+			ix := newIndex(t, proto, 256)
+			const workers, per = 6, 100
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						k := int64(w*10000 + i)
+						if err := ix.Insert(btree.EncodeKey(k), page.RID{Page: page.PageID(w + 1), Slot: uint16(i)}); err != nil {
+							t.Errorf("insert: %v", err)
+							return
+						}
+						if i%10 == 9 {
+							rs, err := ix.Search(btree.EncodeRange(int64(w*10000), int64(w*10000+i)))
+							if err != nil {
+								t.Errorf("search: %v", err)
+								return
+							}
+							if len(rs) != i+1 {
+								t.Errorf("worker %d: %d results at step %d, want %d", w, len(rs), i, i+1)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if got, err := ix.Verify(); err != nil || got != workers*per {
+				t.Fatalf("Verify = %d, %v; want %d", got, err, workers*per)
+			}
+		})
+	}
+}
+
+func TestRTreeOpsAllProtocols(t *testing.T) {
+	for _, proto := range allProtocols() {
+		t.Run(proto.String(), func(t *testing.T) {
+			pool := buffer.New(storage.NewMemDisk(), 128, nil)
+			ix, err := New(pool, rtree.Ops{}, proto, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				x := float64(i%20) * 10
+				y := float64(i/20) * 10
+				if err := ix.Insert(rtree.EncodePoint(x, y), page.RID{Page: 1, Slot: uint16(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rs, err := ix.Search(rtree.EncodeRect(rtree.Rect{XMin: 0, YMin: 0, XMax: 45, YMax: 45}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs) != 25 { // 5x5 grid of points
+				t.Fatalf("window: %d results, want 25", len(rs))
+			}
+		})
+	}
+}
+
+func TestLatchedIOProfile(t *testing.T) {
+	// The structural difference the paper claims: with a pool smaller
+	// than the tree, coupling performs I/O under latches, link does not.
+	const n = 2000
+	load := func(proto Protocol) *Index {
+		pool := buffer.New(storage.NewMemDisk(), 16, nil)
+		ix, err := New(pool, btree.Ops{}, proto, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := ix.Insert(btree.EncodeKey(int64(i)), page.RID{Page: 1, Slot: uint16(i % 65535)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			if _, err := ix.Search(btree.EncodeRange(int64(i*10), int64(i*10+20))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ix
+	}
+	coupled := load(Coupling)
+	linked := load(Link)
+	if coupled.LatchedIOs.Load() == 0 {
+		t.Error("coupling performed no I/O under latches — pool not stressed?")
+	}
+	if linked.LatchedIOs.Load() != 0 {
+		t.Errorf("link performed %d I/Os under latches, want 0", linked.LatchedIOs.Load())
+	}
+	t.Logf("latched I/Os: coupling=%d link=%d (latchless: %d vs %d)",
+		coupled.LatchedIOs.Load(), linked.LatchedIOs.Load(),
+		coupled.LatchlessIOs.Load(), linked.LatchlessIOs.Load())
+}
+
+func TestLinkSplitDetection(t *testing.T) {
+	// Force rightlink chases: build with tiny fanout, then verify the
+	// chase counter moved under concurrency.
+	ix := newIndex(t, Link, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := int64(w*1000 + i)
+				if err := ix.Insert(btree.EncodeKey(k), page.RID{Page: page.PageID(w + 1), Slot: uint16(i)}); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, err := ix.Verify(); err != nil || got != 800 {
+		t.Fatalf("Verify = %d, %v", got, err)
+	}
+	for w := 0; w < 4; w++ {
+		rs, err := ix.Search(btree.EncodeRange(int64(w*1000), int64(w*1000+199)))
+		if err != nil || len(rs) != 200 {
+			t.Fatalf("worker %d range: %d, %v", w, len(rs), err)
+		}
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	names := map[Protocol]string{Coarse: "coarse", Coupling: "coupling", Link: "link"}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestVerifyDetectsNothingOnFreshIndex(t *testing.T) {
+	ix := newIndex(t, Link, 16)
+	if n, err := ix.Verify(); err != nil || n != 0 {
+		t.Errorf("fresh Verify = %d, %v", n, err)
+	}
+	_ = fmt.Sprintf("%v", ix.Protocol())
+}
+
+func TestLinkHotContentionSmallPool(t *testing.T) {
+	// Heavy same-region contention with eviction pressure: exercises
+	// chain re-selection (bestInChainLink) and, via racing root splits,
+	// the slow parent search.
+	pool := buffer.New(storage.NewMemDisk(), 96, nil)
+	ix, err := New(pool, btree.Ops{}, Link, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := int64(w*per + i)
+				if err := ix.Insert(btree.EncodeKey(k), page.RID{Page: page.PageID(w + 1), Slot: uint16(i)}); err != nil {
+					t.Errorf("insert %d: %v", k, err)
+					return
+				}
+				if i%5 == 4 {
+					rs, err := ix.Search(btree.EncodeRange(k-4, k))
+					if err != nil {
+						t.Errorf("search: %v", err)
+						return
+					}
+					if len(rs) < 1 {
+						t.Errorf("read-your-writes failed at %d", k)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, err := ix.Verify(); err != nil || got != workers*per {
+		t.Fatalf("Verify = %d, %v; want %d", got, err, workers*per)
+	}
+	// Every key findable.
+	for k := int64(0); k < workers*per; k++ {
+		rs, err := ix.Search(btree.EncodeRange(k, k))
+		if err != nil || len(rs) != 1 {
+			t.Fatalf("key %d: %d results, %v", k, len(rs), err)
+		}
+	}
+	t.Logf("splits=%d chases=%d", ix.Splits.Load(), ix.Chases.Load())
+}

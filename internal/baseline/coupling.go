@@ -1,0 +1,171 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/latch"
+	"repro/internal/page"
+)
+
+// estEntrySize over-approximates the on-page size of any entry this insert
+// could force into a node (the new leaf entry, or a parent entry for a new
+// sibling whose BP is at most a canonical union predicate).
+func estEntrySize(key []byte) int {
+	n := len(key) + 64
+	if n < 96 {
+		n = 96
+	}
+	return n
+}
+
+// insertCoupled is the subtree-locking insert: descend X-latch-coupled,
+// retaining latches from the lowest "safe" node (one that cannot split)
+// down to the leaf — the scope of any split propagation. Splits then run
+// entirely within the retained, exclusively latched scope. Fetching each
+// child happens with the parent latch held, so I/Os occur under latches —
+// the structural cost the link protocol eliminates.
+func (ix *Index) insertCoupled(key []byte, rid page.RID) error {
+	type lvl struct {
+		f    *buffer.Frame
+		slot int // branch taken (internal nodes); -1 for the leaf
+	}
+	var path []lvl
+	releasePrefix := func(keepFrom int) {
+		for i := 0; i < keepFrom && i < len(path); i++ {
+			path[i].f.Latch.Release(latch.X)
+			ix.pool.Unpin(path[i].f, true, 0)
+		}
+		path = append(path[:0], path[keepFrom:]...)
+	}
+	releaseAll := func() { releasePrefix(len(path)) }
+	defer func() { releaseAll() }()
+
+	f, err := ix.latchRoot(latch.X, 0)
+	if err != nil {
+		return err
+	}
+	for {
+		if !ix.needsSplit(&f.Page, estEntrySize(key)) {
+			// Safe: splits below cannot reach above this node.
+			releaseAll()
+		}
+		if f.Page.IsLeaf() {
+			path = append(path, lvl{f: f, slot: -1})
+			break
+		}
+		slot := ix.bestSlot(&f.Page, key)
+		if slot < 0 {
+			f.Latch.Release(latch.X)
+			ix.pool.Unpin(f, false, 0)
+			return errNoEntries
+		}
+		// Expand the branch BP now, under the held X latch.
+		e := f.Page.MustEntry(slot)
+		child := e.Child
+		merged := ix.ops.Union(e.Pred, key)
+		if err := f.Page.ReplaceEntry(slot, page.Entry{Pred: merged, Child: child}); err != nil {
+			f.Latch.Release(latch.X)
+			ix.pool.Unpin(f, false, 0)
+			return err
+		}
+		path = append(path, lvl{f: f, slot: slot})
+		cf, err := ix.fetch(child, len(path)) // coupled: parent latch held
+		if err != nil {
+			return err
+		}
+		cf.Latch.Acquire(latch.X)
+		f = cf
+	}
+
+	// Insert at the leaf, splitting within the retained scope.
+	leafF := path[len(path)-1].f
+	entry := page.Entry{Pred: key, RID: rid}
+	var movedBP []byte
+	var movedID page.PageID
+	if ix.needsSplit(&leafF.Page, entry.EncodedLen(true)) {
+		sibBP, sibID, err := ix.splitPage(leafF)
+		if err != nil {
+			return err
+		}
+		target := leafF
+		var tf *buffer.Frame
+		if ix.ops.Penalty(sibBP, key) < ix.ops.Penalty(ix.computedBP(&leafF.Page), key) {
+			tf, err = ix.fetch(sibID, len(path))
+			if err != nil {
+				return err
+			}
+			target = tf
+		}
+		if _, err := target.Page.InsertEntry(entry); err != nil {
+			return err
+		}
+		if tf != nil {
+			ix.pool.Unpin(tf, true, 0)
+		}
+		sf, err := ix.fetch(sibID, len(path))
+		if err != nil {
+			return err
+		}
+		movedBP, movedID = ix.computedBP(&sf.Page), sibID
+		ix.pool.Unpin(sf, false, 0)
+	} else {
+		if _, err := leafF.Page.InsertEntry(entry); err != nil {
+			return err
+		}
+	}
+
+	// Propagate the split up through the retained scope.
+	for i := len(path) - 2; movedID != page.InvalidPage; i-- {
+		childF := path[i+1].f
+		childID := childF.ID()
+		if i < 0 {
+			// The scope reached the root: grow the tree.
+			if childID != ix.rootID() {
+				return fmt.Errorf("baseline: split escaped retained scope at node %d", childID)
+			}
+			return ix.growRoot(childID, movedBP, movedID)
+		}
+		parent := path[i].f
+		// Tighten the split child's entry and install the sibling.
+		if s := parent.Page.FindChild(childID); s >= 0 {
+			if err := parent.Page.ReplaceEntry(s, page.Entry{Pred: ix.computedBP(&childF.Page), Child: childID}); err != nil {
+				return err
+			}
+		}
+		add := page.Entry{Pred: movedBP, Child: movedID}
+		if ix.needsSplit(&parent.Page, add.EncodedLen(false)) {
+			_, sibID, err := ix.splitPage(parent)
+			if err != nil {
+				return err
+			}
+			target := parent
+			var tf *buffer.Frame
+			if parent.Page.FindChild(childID) < 0 {
+				tf, err = ix.fetch(sibID, len(path))
+				if err != nil {
+					return err
+				}
+				target = tf
+			}
+			if _, err := target.Page.InsertEntry(add); err != nil {
+				return err
+			}
+			if tf != nil {
+				ix.pool.Unpin(tf, true, 0)
+			}
+			sf, err := ix.fetch(sibID, len(path))
+			if err != nil {
+				return err
+			}
+			movedBP, movedID = ix.computedBP(&sf.Page), sibID
+			ix.pool.Unpin(sf, false, 0)
+			continue
+		}
+		if _, err := parent.Page.InsertEntry(add); err != nil {
+			return err
+		}
+		movedID = page.InvalidPage
+	}
+	return nil
+}

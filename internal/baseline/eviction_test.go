@@ -1,0 +1,30 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+func TestLinkSingleThreadSmallPool(t *testing.T) {
+	pool := buffer.New(storage.NewMemDisk(), 32, nil)
+	ix, err := New(pool, btree.Ops{}, Link, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 1200; k++ {
+		if err := ix.Insert(btree.EncodeKey(k), page.RID{Page: 1, Slot: uint16(k % 60000)}); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		rs, err := ix.Search(btree.EncodeRange(k, k))
+		if err != nil || len(rs) != 1 {
+			t.Fatalf("read-your-write %d: %d, %v", k, len(rs), err)
+		}
+	}
+	if got, err := ix.Verify(); err != nil || got != 1200 {
+		t.Fatalf("Verify = %d, %v", got, err)
+	}
+}

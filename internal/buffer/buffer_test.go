@@ -1,0 +1,423 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/latch"
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// recordingFlusher records the highest LSN the pool asked to be flushed.
+type recordingFlusher struct {
+	mu  sync.Mutex
+	max page.LSN
+}
+
+func (r *recordingFlusher) FlushTo(l page.LSN) error {
+	r.mu.Lock()
+	if l > r.max {
+		r.max = l
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+func newPoolDisk(t *testing.T, capacity int) (*Pool, *storage.MemDisk) {
+	t.Helper()
+	d := storage.NewMemDisk()
+	return New(d, capacity, nil), d
+}
+
+func TestNewPageFetchUnpin(t *testing.T) {
+	p, _ := newPoolDisk(t, 4)
+	f, err := p.NewPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	if !f.Page.IsLeaf() {
+		t.Error("NewPage(0) not a leaf")
+	}
+	if _, err := f.Page.InsertBytes([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f, true, 1)
+
+	g, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != f {
+		t.Error("cached fetch returned a different frame")
+	}
+	b, err := g.Page.SlotBytes(0)
+	if err != nil || string(b) != "hello" {
+		t.Errorf("content lost: %q %v", b, err)
+	}
+	p.Unpin(g, false, 0)
+}
+
+func TestEvictionWritesBackAndReloads(t *testing.T) {
+	d := storage.NewMemDisk()
+	p := New(d, 2, nil)
+	var ids []page.PageID
+	for i := 0; i < 4; i++ {
+		f, err := p.NewPage(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Page.InsertBytes([]byte{byte('A' + i)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, f.ID())
+		p.Unpin(f, true, page.LSN(i+1))
+	}
+	// All four pages must round-trip through the 2-frame pool.
+	for i, id := range ids {
+		f, err := p.Fetch(id)
+		if err != nil {
+			t.Fatalf("refetch %d: %v", id, err)
+		}
+		b, err := f.Page.SlotBytes(0)
+		if err != nil || b[0] != byte('A'+i) {
+			t.Errorf("page %d content = %v, %v", id, b, err)
+		}
+		p.Unpin(f, false, 0)
+	}
+	if _, misses, _ := p.Stats(); misses == 0 {
+		t.Error("expected misses with capacity 2")
+	}
+}
+
+func TestWALRuleOnEviction(t *testing.T) {
+	d := storage.NewMemDisk()
+	fl := &recordingFlusher{}
+	p := New(d, 1, fl)
+	f, err := p.NewPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Page.SetLSN(777)
+	p.Unpin(f, true, 777)
+	// Force eviction by allocating another page into the only frame.
+	g, err := p.NewPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(g, false, 0)
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.max < 777 {
+		t.Errorf("log flushed to %d before steal, want >= 777", fl.max)
+	}
+}
+
+func TestPoolExhausted(t *testing.T) {
+	p, _ := newPoolDisk(t, 2)
+	a, _ := p.NewPage(0)
+	b, _ := p.NewPage(0)
+	if _, err := p.NewPage(0); !errors.Is(err, ErrPoolExhausted) {
+		t.Errorf("err = %v, want ErrPoolExhausted", err)
+	}
+	p.Unpin(a, false, 0)
+	if _, err := p.Fetch(b.ID()); err != nil { // re-pin cached page still fine
+		t.Fatal(err)
+	}
+	p.Unpin(b, false, 0)
+	p.Unpin(b, false, 0)
+}
+
+func TestFetchInvalidPage(t *testing.T) {
+	p, _ := newPoolDisk(t, 2)
+	if _, err := p.Fetch(page.InvalidPage); err == nil {
+		t.Error("fetch of invalid page succeeded")
+	}
+	if _, err := p.Fetch(999); err == nil {
+		t.Error("fetch of unallocated page succeeded")
+	}
+}
+
+func TestFlushPageAndAll(t *testing.T) {
+	d := storage.NewMemDisk()
+	p := New(d, 4, nil)
+	f, _ := p.NewPage(0)
+	if _, err := f.Page.InsertBytes([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	p.Unpin(f, true, 5)
+
+	if got := p.DirtyPages(); got[id] != 5 {
+		t.Errorf("DirtyPages = %v, want {%d:5}", got, id)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DirtyPages(); len(got) != 0 {
+		t.Errorf("DirtyPages after flush = %v", got)
+	}
+	// Verify durable content directly from disk.
+	buf := make([]byte, page.Size)
+	if err := d.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	var pg page.Page
+	pg.CopyFrom(buf)
+	b, err := pg.SlotBytes(0)
+	if err != nil || string(b) != "durable" {
+		t.Errorf("disk content %q %v", b, err)
+	}
+	// FlushPage of uncached page is a no-op.
+	if err := p.FlushPage(4242); err != nil {
+		t.Errorf("flush uncached: %v", err)
+	}
+}
+
+func TestResetLosesUnflushed(t *testing.T) {
+	d := storage.NewMemDisk()
+	p := New(d, 4, nil)
+	f, _ := p.NewPage(0)
+	id := f.ID()
+	if _, err := f.Page.InsertBytes([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f, true, 1)
+	p.Reset() // crash: buffer contents lost
+	g, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Unpin(g, false, 0)
+	if g.Page.NumSlots() != 0 {
+		t.Error("unflushed update survived Reset")
+	}
+}
+
+func TestDeallocateDropsCache(t *testing.T) {
+	d := storage.NewMemDisk()
+	p := New(d, 4, nil)
+	f, _ := p.NewPage(0)
+	id := f.ID()
+	if err := p.Deallocate(id); err == nil {
+		t.Error("deallocate of pinned page should fail")
+	}
+	p.Unpin(f, false, 0)
+	if err := p.Deallocate(id); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumAllocated() != 0 {
+		t.Error("disk still has the page")
+	}
+	if _, err := p.Fetch(id); err == nil {
+		t.Error("fetch of deallocated page succeeded")
+	}
+}
+
+func TestDiscardAbandonsFreshPage(t *testing.T) {
+	d := storage.NewMemDisk()
+	p := New(d, 2, nil)
+	f, _ := p.NewPage(0)
+	p.Discard(f)
+	r, w := d.Stats()
+	_ = r
+	if w != 0 {
+		t.Errorf("discarded page was written (%d writes)", w)
+	}
+}
+
+func TestConcurrentFetchersSamePage(t *testing.T) {
+	d := storage.NewMemDisk()
+	p := New(d, 8, nil)
+	f, _ := p.NewPage(0)
+	id := f.ID()
+	if _, err := f.Page.InsertBytes([]byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f, true, 1)
+	p.FlushAll()
+	p.Reset()
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fr, err := p.Fetch(id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			fr.Latch.Acquire(latch.S)
+			b, err := fr.Page.SlotBytes(0)
+			if err != nil || string(b) != "shared" {
+				errs <- fmt.Errorf("bad content %q %v", b, err)
+			}
+			fr.Latch.Release(latch.S)
+			p.Unpin(fr, false, 0)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if hits, misses, _ := p.Stats(); misses != 1 || hits != n-1 {
+		t.Logf("hits=%d misses=%d (timing-dependent, informational)", hits, misses)
+	}
+}
+
+func TestConcurrentThrash(t *testing.T) {
+	// Many goroutines fetching a working set larger than the pool; every
+	// page must retain its distinct content through repeated evictions.
+	d := storage.NewMemDisk()
+	p := New(d, 4, nil)
+	const pages = 16
+	ids := make([]page.PageID, pages)
+	for i := range ids {
+		f, err := p.NewPage(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Page.InsertBytes([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = f.ID()
+		p.Unpin(f, true, page.LSN(i+1))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				idx := (seed*31 + i*17) % pages
+				f, err := p.Fetch(ids[idx])
+				if err != nil {
+					errs <- err
+					return
+				}
+				f.Latch.Acquire(latch.S)
+				b, err := f.Page.SlotBytes(0)
+				if err != nil || b[0] != byte(idx) {
+					errs <- fmt.Errorf("page %d content %v %v", ids[idx], b, err)
+				}
+				f.Latch.Release(latch.S)
+				p.Unpin(f, false, 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWritersDistinctPages(t *testing.T) {
+	d := storage.NewMemDisk()
+	p := New(d, 3, nil)
+	const pages = 8
+	ids := make([]page.PageID, pages)
+	for i := range ids {
+		f, err := p.NewPage(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Page.InsertBytes(make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = f.ID()
+		p.Unpin(f, true, 1)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < pages; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				f, err := p.Fetch(ids[w])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				f.Latch.Acquire(latch.X)
+				b, _ := f.Page.SlotBytes(0)
+				b[0]++ // increment under X latch
+				f.Page.SetLSN(f.Page.LSN() + 1)
+				f.Latch.Release(latch.X)
+				p.Unpin(f, true, f.Page.LSN())
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < pages; w++ {
+		f, err := p.Fetch(ids[w])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := f.Page.SlotBytes(0)
+		if b[0] != 100 {
+			t.Errorf("page %d counter = %d, want 100 (lost update through eviction)", ids[w], b[0])
+		}
+		p.Unpin(f, false, 0)
+	}
+}
+
+func TestUnpinUnderflowPanics(t *testing.T) {
+	p, _ := newPoolDisk(t, 2)
+	f, _ := p.NewPage(0)
+	p.Unpin(f, false, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on pin underflow")
+		}
+	}()
+	p.Unpin(f, false, 0)
+}
+
+func TestNewPageStealsDirtyVictim(t *testing.T) {
+	// A pool of 1 frame whose only page is dirty: NewPage must write the
+	// victim back (honoring the WAL rule) before reusing the frame.
+	d := storage.NewMemDisk()
+	fl := &recordingFlusher{}
+	p := New(d, 1, fl)
+	a, err := p.NewPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Page.InsertBytes([]byte("victim-content")); err != nil {
+		t.Fatal(err)
+	}
+	a.Page.SetLSN(99)
+	aID := a.ID()
+	p.Unpin(a, true, 99)
+
+	b, err := p.NewPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(b, false, 0)
+	fl.mu.Lock()
+	flushed := fl.max
+	fl.mu.Unlock()
+	if flushed < 99 {
+		t.Errorf("WAL flushed to %d before steal, want >= 99", flushed)
+	}
+	// Victim content durable on disk.
+	buf := make([]byte, page.Size)
+	if err := d.ReadPage(aID, buf); err != nil {
+		t.Fatal(err)
+	}
+	var pg page.Page
+	pg.CopyFrom(buf)
+	if got, err := pg.SlotBytes(0); err != nil || string(got) != "victim-content" {
+		t.Errorf("victim content = %q %v", got, err)
+	}
+}

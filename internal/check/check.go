@@ -1,0 +1,205 @@
+// Package check verifies structural invariants of a quiesced generalized
+// search tree: bounding-predicate containment, level monotonicity, NSN
+// sanity, rightlink reachability, and exact leaf-entry content. The tests
+// and the benchmark harness run it after every scenario to prove that the
+// concurrency protocol preserved the tree.
+package check
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/gist"
+	"repro/internal/latch"
+	"repro/internal/page"
+)
+
+// Report summarizes a structurally valid tree.
+type Report struct {
+	Root    page.PageID
+	Height  int // number of levels (1 = root is a leaf)
+	Nodes   int
+	Leaves  int
+	Entries int // live (not delete-marked) leaf entries
+	Marked  int // delete-marked leaf entries still present
+	Orphans int // nodes reachable only via rightlinks (0 when quiesced)
+
+	// Live maps RID to key for every live leaf entry.
+	Live map[page.RID][]byte
+	// LeafIDs lists every leaf page, left-to-right in visit order.
+	LeafIDs []page.PageID
+}
+
+// Checker walks a tree through the buffer pool. The tree must be quiesced:
+// no concurrent operations may run during the check.
+type Checker struct {
+	Pool   *buffer.Pool
+	Ops    gist.Ops
+	Anchor page.PageID
+	// MaxNSN, if non-zero, is the current tree-global counter; every
+	// node's NSN must be <= MaxNSN.
+	MaxNSN page.LSN
+}
+
+// nodeImage is a latched snapshot of one node.
+type nodeImage struct {
+	id        page.PageID
+	level     uint16
+	nsn       page.LSN
+	rightlink page.PageID
+	flags     uint16
+	entries   []page.Entry
+}
+
+func (c *Checker) snapshot(pg page.PageID) (*nodeImage, error) {
+	f, err := c.Pool.Fetch(pg)
+	if err != nil {
+		return nil, fmt.Errorf("check: fetch %d: %w", pg, err)
+	}
+	f.Latch.Acquire(latch.S)
+	img := &nodeImage{
+		id:        f.Page.ID(),
+		level:     f.Page.Level(),
+		nsn:       f.Page.NSN(),
+		rightlink: f.Page.Rightlink(),
+		flags:     f.Page.Flags(),
+	}
+	for i := 0; i < f.Page.NumSlots(); i++ {
+		e, err := f.Page.Entry(i)
+		if err != nil {
+			f.Latch.Release(latch.S)
+			c.Pool.Unpin(f, false, 0)
+			return nil, fmt.Errorf("check: node %d slot %d: %w", pg, i, err)
+		}
+		e.Pred = append([]byte(nil), e.Pred...)
+		img.entries = append(img.entries, e)
+	}
+	f.Latch.Release(latch.S)
+	c.Pool.Unpin(f, false, 0)
+	return img, nil
+}
+
+// Check validates the tree and returns its report, or the first invariant
+// violation found.
+func (c *Checker) Check() (*Report, error) {
+	rootID, err := c.readAnchor()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Root: rootID, Live: make(map[page.RID][]byte)}
+
+	reachable := make(map[page.PageID]bool)
+	rootLevel, err := c.walk(rootID, nil, reachable, rep)
+	if err != nil {
+		return nil, err
+	}
+	rep.Height = int(rootLevel) + 1
+
+	// Rightlink closure: in a quiesced tree every node a rightlink
+	// reaches must also be parent-reachable — unless the target was
+	// deleted from the tree. Node deletion deliberately leaves the left
+	// sibling's rightlink dangling: the link is only ever followed when
+	// the left node's NSN exceeds an operation's memorized counter,
+	// which cannot happen for operations starting after the deletion, so
+	// a dangling link to a deallocated (or delete-flagged) page is
+	// benign. A rightlink to a LIVE but parent-unreachable node is the
+	// real corruption this counts.
+	for pg := range reachable {
+		img, err := c.snapshot(pg)
+		if err != nil {
+			return nil, err
+		}
+		rl := img.rightlink
+		if rl == page.InvalidPage || reachable[rl] {
+			continue
+		}
+		tgt, err := c.snapshot(rl)
+		if err != nil {
+			continue // deallocated: benign dangling link
+		}
+		if tgt.flags&page.FlagDeallocated != 0 {
+			continue // unlinked, awaiting reuse: benign
+		}
+		rep.Orphans++
+	}
+	return rep, nil
+}
+
+func (c *Checker) readAnchor() (page.PageID, error) {
+	f, err := c.Pool.Fetch(c.Anchor)
+	if err != nil {
+		return 0, fmt.Errorf("check: anchor: %w", err)
+	}
+	defer c.Pool.Unpin(f, false, 0)
+	f.Latch.Acquire(latch.S)
+	defer f.Latch.Release(latch.S)
+	b, err := f.Page.SlotBytes(0)
+	if err != nil || len(b) != 4 {
+		return 0, fmt.Errorf("check: corrupt anchor: %v", err)
+	}
+	return page.PageID(binary.BigEndian.Uint32(b)), nil
+}
+
+// walk validates the subtree rooted at pg. parentPred is the bounding
+// predicate stored for pg in its parent (nil for the root). It returns the
+// node's level.
+func (c *Checker) walk(pg page.PageID, parentPred []byte, reachable map[page.PageID]bool, rep *Report) (uint16, error) {
+	if reachable[pg] {
+		return 0, fmt.Errorf("check: node %d reached twice via parent entries", pg)
+	}
+	reachable[pg] = true
+
+	img, err := c.snapshot(pg)
+	if err != nil {
+		return 0, err
+	}
+	rep.Nodes++
+	if img.flags&page.FlagDeallocated != 0 {
+		return 0, fmt.Errorf("check: node %d is reachable but deallocated", pg)
+	}
+	if c.MaxNSN != 0 && img.nsn > c.MaxNSN {
+		return 0, fmt.Errorf("check: node %d NSN %d exceeds counter %d", pg, img.nsn, c.MaxNSN)
+	}
+
+	// Containment: the parent's stored predicate must cover every entry
+	// of this node — unioning an entry into it must not grow it.
+	if parentPred != nil {
+		canon := c.Ops.Union(parentPred, parentPred)
+		for i, e := range img.entries {
+			if u := c.Ops.Union(canon, e.Pred); !bytes.Equal(u, canon) {
+				return 0, fmt.Errorf("check: node %d entry %d escapes parent BP", pg, i)
+			}
+		}
+	}
+
+	if img.level == 0 {
+		rep.Leaves++
+		rep.LeafIDs = append(rep.LeafIDs, pg)
+		for _, e := range img.entries {
+			if e.Deleted {
+				rep.Marked++
+				continue
+			}
+			if prev, dup := rep.Live[e.RID]; dup {
+				return 0, fmt.Errorf("check: RID %v appears on two leaf entries (%q, %q)", e.RID, prev, e.Pred)
+			}
+			rep.Live[e.RID] = e.Pred
+			rep.Entries++
+		}
+		return 0, nil
+	}
+
+	for _, e := range img.entries {
+		childLevel, err := c.walk(e.Child, e.Pred, reachable, rep)
+		if err != nil {
+			return 0, err
+		}
+		if childLevel != img.level-1 {
+			return 0, fmt.Errorf("check: node %d at level %d has child %d at level %d",
+				pg, img.level, e.Child, childLevel)
+		}
+	}
+	return img.level, nil
+}

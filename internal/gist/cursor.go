@@ -1,0 +1,239 @@
+package gist
+
+import (
+	"fmt"
+
+	"repro/internal/latch"
+	"repro/internal/page"
+	"repro/internal/predicate"
+	"repro/internal/txn"
+)
+
+// Cursor is an incremental search: the depth-first traversal of Figure 3,
+// suspended between calls to Next. The cursor's stack of pending node
+// visits is exactly the state §10.2 says must be recorded when a savepoint
+// is established; Mark and Reset implement that, and the signaling locks
+// backing the stack's pointers are retained across savepoints so the
+// recorded positions stay valid (§7.2, §10.2).
+type Cursor struct {
+	t     *Tree
+	tx    *txn.Txn
+	query []byte
+	iso   Isolation
+	o     *op
+	pred  *predicate.Predicate
+
+	stack   []stackEntry
+	pending []SearchResult // matched on the current leaf, not yet returned
+	seen    map[page.RID]bool
+	done    bool
+	closed  bool
+
+	// conflicts decides which attached predicates ahead of ours force a
+	// wait (FIFO fairness); overridable for the unique-insert search.
+	conflicts func(*predicate.Predicate) bool
+}
+
+// OpenCursor starts an incremental search. The caller must call Close when
+// done (Commit/Abort of the transaction does not close cursors).
+func (t *Tree) OpenCursor(tx *txn.Txn, query []byte, iso Isolation) (*Cursor, error) {
+	t.Stats.Searches.Add(1)
+	var pred *predicate.Predicate
+	if iso == RepeatableRead {
+		pred = t.preds.New(tx.ID(), predicate.Search, query)
+	}
+	conflicts := func(p *predicate.Predicate) bool {
+		if p.Kind != predicate.Insert {
+			return false
+		}
+		return t.ops.Consistent(p.Data, query)
+	}
+	return t.openCursor(tx, query, iso, pred, conflicts)
+}
+
+func (t *Tree) openCursor(tx *txn.Txn, query []byte, iso Isolation, attach *predicate.Predicate, conflicts func(*predicate.Predicate) bool) (*Cursor, error) {
+	o := t.opEnter(tx)
+	// Counter before root pointer: see locateLeaf for why this order is
+	// load-bearing against racing root splits.
+	nsn := t.counter()
+	root, err := t.rootID()
+	if err != nil {
+		o.exit()
+		return nil, err
+	}
+	c := &Cursor{
+		t:         t,
+		tx:        tx,
+		query:     query,
+		iso:       iso,
+		o:         o,
+		pred:      attach,
+		stack:     []stackEntry{{pg: root, nsn: nsn}},
+		seen:      make(map[page.RID]bool),
+		conflicts: conflicts,
+	}
+	o.signal(root)
+	return c, nil
+}
+
+// Next returns the next matching entry. ok is false when the search is
+// exhausted. Next may block on record locks and predicates exactly as a
+// full search would.
+func (c *Cursor) Next() (SearchResult, bool, error) {
+	if c.closed {
+		return SearchResult{}, false, fmt.Errorf("gist: Next on closed cursor")
+	}
+	t := c.t
+	for {
+		if len(c.pending) > 0 {
+			r := c.pending[0]
+			c.pending = c.pending[1:]
+			return r, true, nil
+		}
+		if c.done || len(c.stack) == 0 {
+			c.done = true
+			return SearchResult{}, false, nil
+		}
+
+		se := c.stack[len(c.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
+
+		f, err := c.o.fetch(se.pg)
+		if err != nil {
+			return SearchResult{}, false, fmt.Errorf("gist: cursor fetch %d: %w", se.pg, err)
+		}
+		c.o.latchPage(f, latch.S)
+
+		if f.Page.NSN() > se.nsn {
+			if rl := f.Page.Rightlink(); rl != page.InvalidPage {
+				c.stack = append(c.stack, stackEntry{pg: rl, nsn: se.nsn})
+				c.o.signal(rl)
+				t.Stats.RightlinkChases.Add(1)
+			}
+		}
+
+		if c.pred != nil {
+			ahead := t.preds.Attach(c.pred, se.pg, c.conflicts)
+			if len(ahead) > 0 {
+				c.o.unlatchPage(f, latch.S)
+				t.pool.Unpin(f, false, 0)
+				if err := c.o.blockOnPredicates(ahead); err != nil {
+					return SearchResult{}, false, err
+				}
+				c.stack = append(c.stack, se)
+				continue
+			}
+		}
+
+		if f.Page.IsLeaf() {
+			redo, err := c.o.scanLeaf(f, se, c.query, c.iso, c.seen, &c.pending)
+			c.o.unlatchPage(f, latch.S)
+			t.pool.Unpin(f, false, 0)
+			if err != nil {
+				return SearchResult{}, false, err
+			}
+			if redo != nil {
+				if lerr := c.o.lockRecord(redo.rid, c.iso); lerr != nil {
+					return SearchResult{}, false, lerr
+				}
+				c.stack = append(c.stack, se)
+				continue
+			}
+		} else {
+			childNSN := t.counter()
+			if t.cfg.ParentLSNOpt {
+				childNSN = f.Page.LSN()
+			}
+			for i := 0; i < f.Page.NumSlots(); i++ {
+				e, err := f.Page.Entry(i)
+				if err != nil {
+					continue
+				}
+				if t.ops.Consistent(e.Pred, c.query) {
+					c.stack = append(c.stack, stackEntry{pg: e.Child, nsn: childNSN})
+					c.o.signal(e.Child)
+				}
+			}
+			c.o.unlatchPage(f, latch.S)
+			t.pool.Unpin(f, false, 0)
+		}
+		c.o.releaseSignal(se.pg)
+	}
+}
+
+// All drains the cursor and closes it.
+func (c *Cursor) All() ([]SearchResult, error) {
+	defer c.Close()
+	var out []SearchResult
+	for {
+		r, ok, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// Close releases the cursor's operation state (signaling locks not pinned
+// by savepoints). Record locks and predicates stay with the transaction,
+// per two-phase locking. Close is idempotent.
+func (c *Cursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.o.exit()
+}
+
+// Mark is a recorded cursor position: a copy of the traversal stack, the
+// already-returned data RIDs and the unreturned matches of the current
+// leaf (§10.2: "record the then-current stack"; storage is proportional to
+// page capacity times tree height).
+type Mark struct {
+	stack   []stackEntry
+	pending []SearchResult
+	seen    map[page.RID]bool
+	done    bool
+}
+
+// Mark records the cursor's position for a savepoint. The cursor's
+// signaling locks are retained from this moment until transaction end
+// (releaseSignal already does this whenever the transaction has
+// savepoints), so every stack pointer remains safe against node deletion.
+func (c *Cursor) Mark() Mark {
+	m := Mark{
+		stack:   append([]stackEntry(nil), c.stack...),
+		pending: append([]SearchResult(nil), c.pending...),
+		seen:    make(map[page.RID]bool, len(c.seen)),
+		done:    c.done,
+	}
+	for k, v := range c.seen {
+		m.seen[k] = v
+	}
+	// Pin the signaling locks backing the recorded stack so they survive
+	// the operations that would otherwise release them on visit.
+	for _, se := range m.stack {
+		c.o.pinSignal(se.pg)
+	}
+	return m
+}
+
+// Reset restores a position previously recorded with Mark (partial
+// rollback to a savepoint re-opens the cursor where it stood).
+func (c *Cursor) Reset(m Mark) {
+	c.stack = append(c.stack[:0], m.stack...)
+	c.pending = append(c.pending[:0], m.pending...)
+	c.seen = make(map[page.RID]bool, len(m.seen))
+	for k, v := range m.seen {
+		c.seen[k] = v
+	}
+	c.done = m.done
+	// Re-take signaling locks for restored stack entries (idempotent for
+	// those still held).
+	for _, se := range c.stack {
+		c.o.signal(se.pg)
+	}
+}

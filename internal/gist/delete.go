@@ -1,0 +1,450 @@
+package gist
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/latch"
+	"repro/internal/lock"
+	"repro/internal/page"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Delete logically deletes the leaf entry (key, rid): the entry is marked,
+// not physically removed, so that repeatable-read scans still find it and
+// block on the deleting transaction (§7). Parent BPs are deliberately not
+// shrunk — that would cut the path concurrent searches need to reach the
+// marked entry. Physical removal happens later by garbage collection, after
+// this transaction commits.
+//
+// The caller must have X-locked the data record (phase 1 of §6 applies
+// symmetrically); the lock call here is re-entrant.
+func (t *Tree) Delete(tx *txn.Txn, key []byte, rid page.RID) error {
+	t.Stats.Deletes.Add(1)
+	o := t.opEnter(tx)
+	defer o.exit()
+	if err := tx.Lock(lock.ForRID(rid), lock.X); err != nil {
+		return wrapLockErr(err)
+	}
+
+	// Locate the leaf holding the entry: a search with an equality
+	// predicate (§7), traversing all consistent subtrees.
+	query := t.ops.KeyQuery(key)
+	nsn := t.counter()
+	root, err := t.rootID()
+	if err != nil {
+		return err
+	}
+	stack := []stackEntry{{pg: root, nsn: nsn}}
+	o.signal(root)
+	for len(stack) > 0 {
+		se := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		f, err := o.fetch(se.pg)
+		if err != nil {
+			return fmt.Errorf("gist: delete fetch %d: %w", se.pg, err)
+		}
+		leaf := f.Page.IsLeaf()
+		mode := latch.S
+		if leaf {
+			mode = latch.X
+		}
+		o.latchPage(f, mode)
+		if f.Page.NSN() > se.nsn {
+			if rl := f.Page.Rightlink(); rl != page.InvalidPage {
+				stack = append(stack, stackEntry{pg: rl, nsn: se.nsn})
+				o.signal(rl)
+				t.Stats.RightlinkChases.Add(1)
+			}
+		}
+		if leaf {
+			slot := f.Page.FindEntry(rid, key, false)
+			if slot >= 0 {
+				e := f.Page.MustEntry(slot)
+				{
+					old := e.Encode(true)
+					if err := f.Page.MarkDeleted(slot, tx.ID()); err != nil {
+						o.unlatchPage(f, mode)
+						t.pool.Unpin(f, false, 0)
+						return err
+					}
+					lsn := tx.Log(&wal.Record{
+						Type: wal.RecMarkLeafEntry,
+						Pg:   f.ID(),
+						NSN:  f.Page.NSN(),
+						Body: old,
+					})
+					f.Page.SetLSN(lsn)
+					// Retain the signaling lock on the leaf
+					// until transaction end: undo must be
+					// able to re-walk this chain.
+					o.pinSignal(f.ID())
+					o.unlatchPage(f, mode)
+					t.pool.Unpin(f, true, lsn)
+					return nil
+				}
+			}
+		} else {
+			childNSN := t.counter()
+			if t.cfg.ParentLSNOpt {
+				childNSN = f.Page.LSN()
+			}
+			for i := 0; i < f.Page.NumSlots(); i++ {
+				e, err := f.Page.Entry(i)
+				if err != nil {
+					continue
+				}
+				if t.ops.Consistent(e.Pred, query) {
+					stack = append(stack, stackEntry{pg: e.Child, nsn: childNSN})
+					o.signal(e.Child)
+				}
+			}
+		}
+		o.unlatchPage(f, mode)
+		t.pool.Unpin(f, false, 0)
+		o.releaseSignal(se.pg)
+	}
+	return fmt.Errorf("%w: key with RID %v", ErrNotFound, rid)
+}
+
+// gcLeafLocked removes, from an X-latched leaf, every logically deleted
+// entry whose deleting transaction has terminated (necessarily by commit:
+// aborts unmark during rollback). It runs as its own atomic action and,
+// when entries were removed, shrinks the parent's bounding predicate
+// (best effort, one level). This is the "node reorganization" performed by
+// operations passing through the node (§7.1).
+func (o *op) gcLeafLocked(f *buffer.Frame, stack []pathEntry) {
+	t := o.t
+	if f.Page.NumSlots() == 0 {
+		// Already empty (an earlier GC pass was blocked from deleting
+		// it by signaling locks): retry the unlink.
+		o.tryDeleteNode(f, stack)
+		return
+	}
+	var victims []int
+	var bodies [][]byte
+	for i := 0; i < f.Page.NumSlots(); i++ {
+		e, err := f.Page.Entry(i)
+		if err != nil {
+			continue
+		}
+		if e.Deleted && e.Deleter != page.InvalidTxn && !t.tm.IsActive(e.Deleter) {
+			victims = append(victims, i)
+			b, _ := f.Page.SlotBytes(i)
+			bodies = append(bodies, append([]byte(nil), b...))
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	if err := o.tx.BeginNTA(); err != nil {
+		return // another SMO is open; GC is an optimization, skip
+	}
+	lsn := o.tx.Log(&wal.Record{Type: wal.RecGarbageCollection, Pg: f.ID(), Moved: bodies})
+	for i := len(victims) - 1; i >= 0; i-- {
+		f.Page.DeleteSlot(victims[i])
+	}
+	f.Page.SetLSN(lsn)
+	o.tx.EndNTA()
+	t.pool.MarkDirty(f, lsn)
+	t.Stats.GCRuns.Add(1)
+	t.Stats.GCEntries.Add(int64(len(victims)))
+
+	if f.Page.NumSlots() == 0 {
+		o.tryDeleteNode(f, stack)
+		return
+	}
+	o.shrinkParentBP(f, stack)
+}
+
+// GCLeaf garbage-collects one leaf on demand (used by the maintenance CLI
+// and tests). The leaf is located by page id.
+func (t *Tree) GCLeaf(tx *txn.Txn, pg page.PageID) error {
+	o := t.opEnter(tx)
+	defer o.exit()
+	f, err := o.fetch(pg)
+	if err != nil {
+		return err
+	}
+	o.latchPage(f, latch.X)
+	if !f.Page.IsLeaf() {
+		o.unlatchPage(f, latch.X)
+		t.pool.Unpin(f, false, 0)
+		return fmt.Errorf("gist: GCLeaf on internal node %d", pg)
+	}
+	o.gcLeafLocked(f, nil)
+	o.unlatchPage(f, latch.X)
+	t.pool.Unpin(f, false, 0)
+	return nil
+}
+
+// shrinkParentBP tightens the parent entry of an X-latched node to the
+// node's current computed BP, as one atomic action. Safe against concurrent
+// inserts because an inserter holds the leaf latch continuously from its BP
+// expansion until its entry is physically installed, so a shrink can never
+// observe the window between the two.
+func (o *op) shrinkParentBP(f *buffer.Frame, stack []pathEntry) {
+	t := o.t
+	if stack == nil {
+		return // no path context; shrink is best-effort
+	}
+	newBP := t.computedBP(&f.Page)
+	if newBP == nil {
+		return
+	}
+	parentF, slot, ownPin, err := o.ascendToParent(stack, f.ID(), f.Page.Level())
+	if err != nil || parentF == nil {
+		return
+	}
+	defer func() {
+		o.unlatchPage(parentF, latch.X)
+		if ownPin {
+			t.pool.Unpin(parentF, false, 0)
+		}
+	}()
+	oldPred := parentF.Page.MustEntry(slot).Pred
+	if bytes.Equal(oldPred, newBP) {
+		return
+	}
+	if err := o.tx.BeginNTA(); err != nil {
+		return
+	}
+	lsn := o.tx.Log(&wal.Record{
+		Type: wal.RecParentEntryUpdate,
+		Pg:   parentF.ID(),
+		Pg2:  f.ID(),
+		Body: newBP,
+	})
+	if err := parentF.Page.ReplaceEntry(slot, page.Entry{Pred: newBP, Child: f.ID()}); err == nil {
+		parentF.Page.SetLSN(lsn)
+		t.pool.MarkDirty(parentF, lsn)
+		t.Stats.BPUpdates.Add(1)
+	}
+	o.tx.EndNTA()
+}
+
+// tryDeleteNode unlinks an empty, X-latched leaf from the tree if no other
+// operation holds a direct or indirect pointer to it. The probe is the
+// signaling-lock check of §7.2: deletion requires the X node lock, which is
+// denied (without waiting) while any operation's signaling S lock exists.
+// Physical reuse of the page is additionally deferred until every operation
+// active at unlink time has finished (the drain technique of [KL80]), which
+// also covers the window where an operation has read a rightlink to this
+// node but not yet taken its signaling lock.
+func (o *op) tryDeleteNode(f *buffer.Frame, stack []pathEntry) {
+	t := o.t
+	if stack == nil || len(stack) == 0 {
+		return // never delete the root (or without path context)
+	}
+	pg := f.ID()
+	// Drop our own signaling lock first so the probe only sees others'.
+	if o.signals[pg] {
+		delete(o.signals, pg)
+		t.locks.Unlock(o.tx.ID(), lock.ForNode(pg))
+	}
+	if !t.locks.TryLock(o.tx.ID(), lock.ForNode(pg), lock.X) {
+		return // someone still points here; retry on a later pass
+	}
+	defer t.locks.Unlock(o.tx.ID(), lock.ForNode(pg))
+
+	parentF, slot, ownPin, err := o.ascendToParent(stack, pg, f.Page.Level())
+	if err != nil || parentF == nil {
+		return
+	}
+	defer func() {
+		o.unlatchPage(parentF, latch.X)
+		if ownPin {
+			t.pool.Unpin(parentF, false, 0)
+		}
+	}()
+	// Keep at least one child under the parent: deleting the parent's
+	// last entry would require recursive node deletion up the tree;
+	// retried later when the parent itself is collected.
+	if parentF.Page.NumSlots() <= 1 {
+		return
+	}
+
+	if err := o.tx.BeginNTA(); err != nil {
+		return
+	}
+	entryBody, _ := parentF.Page.SlotBytes(slot)
+	entryCopy := append([]byte(nil), entryBody...)
+	lsn := o.tx.Log(&wal.Record{Type: wal.RecInternalEntryDelete, Pg: parentF.ID(), Body: entryCopy})
+	parentF.Page.DeleteSlot(slot)
+	parentF.Page.SetLSN(lsn)
+	t.pool.MarkDirty(parentF, lsn)
+
+	lsn = o.tx.Log(&wal.Record{
+		Type:     wal.RecFreePage,
+		Pg:       pg,
+		Level:    f.Page.Level(),
+		OldNSN:   f.Page.NSN(),
+		OldRight: f.Page.Rightlink(),
+	})
+	f.Page.SetFlags(f.Page.Flags() | page.FlagDeallocated)
+	f.Page.SetLSN(lsn)
+	t.pool.MarkDirty(f, lsn)
+	o.tx.EndNTA()
+
+	// Late traversers may still pass through the (empty) node via its
+	// rightlink until the drain completes; only then is it reused.
+	t.preds.DropNode(pg)
+	t.quarantinePage(pg)
+	t.Stats.NodeDeletes.Add(1)
+}
+
+// GCAll walks the whole tree and garbage-collects every leaf — the
+// maintenance pass a DBMS would run in the background. Node deletions are
+// attempted for emptied leaves when a path context is available.
+func (t *Tree) GCAll(tx *txn.Txn) error {
+	o := t.opEnter(tx)
+	defer o.exit()
+	root, err := t.rootID()
+	if err != nil {
+		return err
+	}
+	// Collect each leaf together with the parent that pointed at it so
+	// that node deletion (which must remove the parent entry) has its
+	// path context.
+	type leafRef struct {
+		pg     page.PageID
+		parent page.PageID // InvalidPage when the leaf is the root
+	}
+	var leaves []leafRef
+	frontier := []page.PageID{root}
+	visited := map[page.PageID]bool{root: true}
+	for len(frontier) > 0 {
+		pg := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		f, err := o.fetch(pg)
+		if err != nil {
+			return err
+		}
+		o.latchPage(f, latch.S)
+		if f.Page.IsLeaf() {
+			leaves = append(leaves, leafRef{pg: pg})
+		} else {
+			leafLevelBelow := f.Page.Level() == 1
+			for i := 0; i < f.Page.NumSlots(); i++ {
+				e, err := f.Page.Entry(i)
+				if err != nil {
+					continue
+				}
+				if visited[e.Child] {
+					continue
+				}
+				visited[e.Child] = true
+				if leafLevelBelow {
+					leaves = append(leaves, leafRef{pg: e.Child, parent: pg})
+				} else {
+					frontier = append(frontier, e.Child)
+				}
+			}
+		}
+		if rl := f.Page.Rightlink(); rl != page.InvalidPage && !visited[rl] {
+			visited[rl] = true
+			frontier = append(frontier, rl)
+		}
+		o.unlatchPage(f, latch.S)
+		t.pool.Unpin(f, false, 0)
+	}
+	for _, lr := range leaves {
+		var stack []pathEntry
+		if lr.parent != page.InvalidPage {
+			pf, err := o.fetch(lr.parent)
+			if err != nil {
+				return err
+			}
+			stack = []pathEntry{{pg: lr.parent, f: pf}}
+		}
+		f, err := o.fetch(lr.pg)
+		if err != nil {
+			o.releasePath(stack)
+			return err
+		}
+		o.latchPage(f, latch.X)
+		if f.Page.Flags()&page.FlagDeallocated == 0 {
+			o.gcLeafLocked(f, stack)
+		}
+		o.unlatchPage(f, latch.X)
+		t.pool.Unpin(f, false, 0)
+		o.releasePath(stack)
+	}
+	return nil
+}
+
+// Destroy walks the whole tree and frees every node page plus the anchor,
+// inside nested top actions so the deallocation is recoverable. The tree
+// must be quiesced and is unusable afterwards. Used by index drop.
+func (t *Tree) Destroy(tx *txn.Txn) error {
+	o := t.opEnter(tx)
+	defer o.exit()
+	root, err := t.rootID()
+	if err != nil {
+		return err
+	}
+	// Collect every node (children + rightlinks).
+	var pages []page.PageID
+	frontier := []page.PageID{root}
+	visited := map[page.PageID]bool{root: true}
+	for len(frontier) > 0 {
+		pg := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		pages = append(pages, pg)
+		f, err := o.fetch(pg)
+		if err != nil {
+			return err
+		}
+		o.latchPage(f, latch.S)
+		if !f.Page.IsLeaf() {
+			for i := 0; i < f.Page.NumSlots(); i++ {
+				e, err := f.Page.Entry(i)
+				if err != nil {
+					continue
+				}
+				if !visited[e.Child] {
+					visited[e.Child] = true
+					frontier = append(frontier, e.Child)
+				}
+			}
+		}
+		if rl := f.Page.Rightlink(); rl != page.InvalidPage && !visited[rl] {
+			visited[rl] = true
+			frontier = append(frontier, rl)
+		}
+		o.unlatchPage(f, latch.S)
+		t.pool.Unpin(f, false, 0)
+	}
+	pages = append(pages, t.anchor)
+
+	if err := tx.BeginNTA(); err != nil {
+		return err
+	}
+	for _, pg := range pages {
+		f, err := o.fetch(pg)
+		if err != nil {
+			tx.EndNTA()
+			return err
+		}
+		o.latchPage(f, latch.X)
+		lsn := tx.Log(&wal.Record{
+			Type:     wal.RecFreePage,
+			Pg:       pg,
+			Level:    f.Page.Level(),
+			OldNSN:   f.Page.NSN(),
+			OldRight: f.Page.Rightlink(),
+		})
+		f.Page.SetFlags(f.Page.Flags() | page.FlagDeallocated)
+		f.Page.SetLSN(lsn)
+		t.pool.MarkDirty(f, lsn)
+		o.unlatchPage(f, latch.X)
+		t.pool.Unpin(f, false, 0)
+		t.preds.DropNode(pg)
+		t.quarantinePage(pg)
+	}
+	tx.EndNTA()
+	t.Close() // release the anchor pin so the page can be reused
+	return nil
+}

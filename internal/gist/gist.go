@@ -1,0 +1,518 @@
+// Package gist implements the Generalized Search Tree with the concurrency,
+// recovery and repeatable-read protocols of Kornacker, Mohan and
+// Hellerstein (SIGMOD 1997).
+//
+// The tree is a balanced hierarchy of bounding predicates (BPs) over
+// (key, RID) leaf entries, specialized to a concrete access method by an
+// Ops extension (B-tree, R-tree, ...). Concurrency control uses the link
+// technique extended with node sequence numbers (NSNs) drawn from the WAL's
+// LSN counter: a node split stamps the original node with the split
+// record's LSN and hands the old NSN and rightlink to the new sibling, so a
+// traverser that memorized the counter before reading a parent entry can
+// detect and compensate for splits it missed by walking rightlinks. No node
+// latch is ever held across an I/O.
+//
+// Repeatable read combines two-phase locks on data records with predicate
+// locks attached directly to nodes; deletion is logical (entries are marked
+// and garbage-collected after the deleter commits); structure modifications
+// run as nested top actions so they survive the initiating transaction's
+// rollback.
+package gist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/buffer"
+	"repro/internal/latch"
+	"repro/internal/lock"
+	"repro/internal/page"
+	"repro/internal/predicate"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Ops is the extension-method interface of [HNP95]: the four domain
+// operations that specialize the template tree to a concrete access method.
+// All predicates, keys and queries are byte strings whose encoding belongs
+// entirely to the extension; the tree compares predicates only for byte
+// equality (extensions must produce canonical encodings, in particular from
+// Union).
+type Ops interface {
+	// Consistent reports whether the subtree bounded by pred may contain
+	// keys matching query. It is used to navigate searches, to decide
+	// predicate-lock conflicts, and (with a key in place of pred) to
+	// test whether a single key matches a query.
+	Consistent(pred, query []byte) bool
+
+	// Union returns the canonical smallest predicate covering both a and
+	// b. Union(nil, b) must return (a canonical copy of) b's bounds.
+	Union(a, b []byte) []byte
+
+	// Penalty returns the domain-specific cost of inserting key into the
+	// subtree bounded by bp; insertion descends the minimal-penalty path.
+	Penalty(bp, key []byte) float64
+
+	// PickSplit partitions the given predicates between an original node
+	// and a new right sibling, returning the indices that stay. It must
+	// leave at least one entry on each side.
+	PickSplit(preds [][]byte) (stay []int)
+
+	// KeyQuery returns a query predicate matching exactly the given key,
+	// used by deletion and unique-insert to locate a specific key.
+	KeyQuery(key []byte) []byte
+}
+
+// Isolation selects the transactional isolation of search operations.
+type Isolation int
+
+// Isolation levels.
+const (
+	// RepeatableRead (Degree 3) attaches predicate locks and holds
+	// S record locks until end of transaction — the paper's hybrid
+	// mechanism.
+	RepeatableRead Isolation = iota
+	// ReadCommitted takes short record locks (released at operation end)
+	// and leaves no predicates, permitting phantoms.
+	ReadCommitted
+)
+
+// Errors returned by tree operations.
+var (
+	ErrDuplicate = errors.New("gist: duplicate key in unique index")
+	ErrNotFound  = errors.New("gist: entry not found")
+	ErrAborted   = errors.New("gist: operation aborted")
+)
+
+// Config configures a tree.
+type Config struct {
+	// Ops is the access-method extension. Required.
+	Ops Ops
+	// MaxEntries forces a node split when a node reaches this many
+	// entries even if byte space remains; 0 disables the cap. Small
+	// values let tests exercise deep trees cheaply.
+	MaxEntries int
+	// ParentLSNOpt enables the §10.1 optimization: traversals memorize
+	// the parent page's LSN instead of reading the global counter,
+	// avoiding synchronization on the log manager's tail.
+	ParentLSNOpt bool
+	// AssertNoLatchOnIO panics if a buffer-pool miss occurs while the
+	// operation holds any node latch (experiment E10's watchdog).
+	AssertNoLatchOnIO bool
+}
+
+// Stats aggregates tree-level instrumentation counters.
+type Stats struct {
+	Searches        atomic.Int64
+	Inserts         atomic.Int64
+	Deletes         atomic.Int64
+	Splits          atomic.Int64
+	RootSplits      atomic.Int64
+	RightlinkChases atomic.Int64
+	BPUpdates       atomic.Int64
+	GCRuns          atomic.Int64
+	GCEntries       atomic.Int64
+	NodeDeletes     atomic.Int64
+	PredBlocks      atomic.Int64
+	LatchlessIOs    atomic.Int64
+	LatchedIOs      atomic.Int64
+}
+
+// Tree is an open generalized search tree.
+type Tree struct {
+	ops   Ops
+	pool  *buffer.Pool
+	tm    *txn.Manager
+	log   *wal.Log
+	locks *lock.Manager
+	preds *predicate.Manager
+	cfg   Config
+
+	anchor  page.PageID   // page holding the root pointer
+	anchorF *buffer.Frame // permanently pinned anchor frame
+
+	// Epoch-based drain (KL80, §7.2): deallocated pages are quarantined
+	// until every operation active at unlink time has finished, so even
+	// an operation that raced past the signaling-lock check can still
+	// read the empty unlinked node safely.
+	epochMu    sync.Mutex
+	epoch      uint64
+	activeOps  map[uint64]uint64 // op id -> start epoch
+	nextOpID   uint64
+	quarantine []pendingFree
+
+	// gcPinned tracks leaves whose signaling lock must survive until
+	// the owning transaction ends (the insert target-leaf rule, §7.2).
+	pinMu  sync.Mutex
+	pinned map[page.TxnID]map[page.PageID]bool
+
+	Stats Stats
+}
+
+type pendingFree struct {
+	pg    page.PageID
+	epoch uint64
+}
+
+// anchorKey is the body stored in the anchor page's slot 0.
+func anchorBody(root page.PageID) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, uint32(root))
+	return b
+}
+
+func anchorRootOf(p *page.Page) (page.PageID, error) {
+	b, err := p.SlotBytes(0)
+	if err != nil || len(b) != 4 {
+		return 0, fmt.Errorf("gist: corrupt anchor page: %v", err)
+	}
+	return page.PageID(binary.BigEndian.Uint32(b)), nil
+}
+
+// Create allocates and initializes a new empty tree: an anchor page and an
+// empty leaf root, all logged inside a bootstrap transaction so the tree is
+// recoverable from its first moment.
+func Create(pool *buffer.Pool, tm *txn.Manager, cfg Config) (*Tree, error) {
+	if cfg.Ops == nil {
+		return nil, errors.New("gist: Config.Ops is required")
+	}
+	t := newTree(pool, tm, cfg)
+
+	tx, err := tm.Begin()
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.BeginNTA(); err != nil {
+		return nil, err
+	}
+	anchorF, err := pool.NewPage(0)
+	if err != nil {
+		return nil, err
+	}
+	lsn := tx.Log(&wal.Record{Type: wal.RecGetPage, Pg: anchorF.ID(), Level: 0})
+	anchorF.Page.SetLSN(lsn)
+
+	rootF, err := pool.NewPage(0)
+	if err != nil {
+		return nil, err
+	}
+	lsn = tx.Log(&wal.Record{Type: wal.RecGetPage, Pg: rootF.ID(), Level: 0})
+	rootF.Page.SetLSN(lsn)
+
+	if _, err := anchorF.Page.InsertBytes(anchorBody(rootF.ID())); err != nil {
+		return nil, err
+	}
+	lsn = tx.Log(&wal.Record{
+		Type: wal.RecRootChange,
+		Pg:   anchorF.ID(),
+		Pg2:  rootF.ID(),
+	})
+	anchorF.Page.SetLSN(lsn)
+	tx.EndNTA()
+
+	t.anchor = anchorF.ID()
+	t.anchorF = anchorF // stays pinned for the tree's lifetime
+	pool.MarkDirty(anchorF, lsn)
+	pool.Unpin(rootF, true, lsn)
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open attaches to an existing tree whose anchor page is known (recorded by
+// the caller at Create time, typically in a catalog).
+func Open(pool *buffer.Pool, tm *txn.Manager, cfg Config, anchor page.PageID) (*Tree, error) {
+	if cfg.Ops == nil {
+		return nil, errors.New("gist: Config.Ops is required")
+	}
+	t := newTree(pool, tm, cfg)
+	t.anchor = anchor
+	f, err := pool.Fetch(anchor) // pinned for the tree's lifetime
+	if err != nil {
+		return nil, err
+	}
+	t.anchorF = f
+	if _, err := t.rootID(); err != nil {
+		pool.Unpin(f, false, 0)
+		return nil, err
+	}
+	return t, nil
+}
+
+// Close releases the tree's permanent pin on the anchor page. The tree must
+// be quiesced.
+func (t *Tree) Close() {
+	if t.anchorF != nil {
+		t.pool.Unpin(t.anchorF, false, 0)
+		t.anchorF = nil
+	}
+}
+
+func newTree(pool *buffer.Pool, tm *txn.Manager, cfg Config) *Tree {
+	t := &Tree{
+		ops:       cfg.Ops,
+		pool:      pool,
+		tm:        tm,
+		log:       tm.Log(),
+		locks:     tm.Locks(),
+		preds:     tm.Predicates(),
+		cfg:       cfg,
+		activeOps: make(map[uint64]uint64),
+		pinned:    make(map[page.TxnID]map[page.PageID]bool),
+	}
+	t.registerUndo()
+	return t
+}
+
+// Anchor returns the tree's anchor page id (persist it to reopen the tree).
+func (t *Tree) Anchor() page.PageID { return t.anchor }
+
+// rootID reads the current root pointer from the permanently pinned anchor
+// page — never an I/O, so it is safe under held latches.
+func (t *Tree) rootID() (page.PageID, error) {
+	t.anchorF.Latch.Acquire(latch.S)
+	root, err := anchorRootOf(&t.anchorF.Page)
+	t.anchorF.Latch.Release(latch.S)
+	return root, err
+}
+
+// counter reads the tree-global counter: the last assigned LSN (§10.1).
+func (t *Tree) counter() page.LSN { return t.log.LastLSN() }
+
+// op is the per-operation context: it carries the owning transaction,
+// tracks held latches for the no-latch-across-I/O assertion, participates
+// in the epoch drain, and remembers which nodes it holds signaling locks on.
+type op struct {
+	t       *Tree
+	tx      *txn.Txn
+	id      uint64
+	latches int
+	signals map[page.PageID]bool // signaling locks held by this operation
+}
+
+// opEnter registers an operation with the epoch tracker.
+func (t *Tree) opEnter(tx *txn.Txn) *op {
+	t.epochMu.Lock()
+	t.nextOpID++
+	id := t.nextOpID
+	t.activeOps[id] = t.epoch
+	t.epochMu.Unlock()
+	return &op{t: t, tx: tx, id: id, signals: make(map[page.PageID]bool)}
+}
+
+// exit deregisters the operation, releases its remaining signaling locks
+// (except those pinned until transaction end), and frees quarantined pages
+// whose drain condition is now met.
+func (o *op) exit() {
+	t := o.t
+	for pg := range o.signals {
+		o.releaseSignal(pg)
+	}
+	t.epochMu.Lock()
+	delete(t.activeOps, o.id)
+	minEpoch := t.epoch
+	for _, e := range t.activeOps {
+		if e < minEpoch {
+			minEpoch = e
+		}
+	}
+	var free []page.PageID
+	rest := t.quarantine[:0]
+	for _, pf := range t.quarantine {
+		if pf.epoch < minEpoch {
+			free = append(free, pf.pg)
+		} else {
+			rest = append(rest, pf)
+		}
+	}
+	t.quarantine = rest
+	t.epochMu.Unlock()
+	for _, pg := range free {
+		// Best effort; the page is already unlinked and logged free.
+		_ = t.pool.Deallocate(pg)
+	}
+}
+
+// quarantinePage defers physical reuse of an unlinked page until all
+// operations active now have finished.
+func (t *Tree) quarantinePage(pg page.PageID) {
+	t.epochMu.Lock()
+	t.epoch++
+	t.quarantine = append(t.quarantine, pendingFree{pg: pg, epoch: t.epoch})
+	t.epochMu.Unlock()
+}
+
+// signal takes the signaling S lock on a node on behalf of the operation's
+// transaction (set when a pointer to the node is pushed on the stack,
+// §7.2). Signaling locks never block: they are S locks that only conflict
+// with a node deleter's X probe, and the deleter only ever uses TryLock.
+func (o *op) signal(pg page.PageID) {
+	if o.signals[pg] {
+		return
+	}
+	if err := o.t.locks.Lock(o.tx.ID(), lock.ForNode(pg), lock.S); err != nil {
+		// Cannot happen: S never conflicts with S and deleters never
+		// hold X while others wait.
+		panic(fmt.Sprintf("gist: signaling lock: %v", err))
+	}
+	o.signals[pg] = true
+}
+
+// releaseSignal drops a signaling lock unless a savepoint or the insert
+// target-leaf rule pinned it until transaction end.
+func (o *op) releaseSignal(pg page.PageID) {
+	if !o.signals[pg] {
+		return
+	}
+	delete(o.signals, pg)
+	t := o.t
+	t.pinMu.Lock()
+	pinnedSet := t.pinned[o.tx.ID()]
+	isPinned := pinnedSet != nil && pinnedSet[pg]
+	t.pinMu.Unlock()
+	if isPinned {
+		return
+	}
+	// Savepoint rule (§10.2): signaling locks existing when a savepoint
+	// was established must be retained for cursor restoration.
+	if len(o.tx.Savepoints()) > 0 {
+		return
+	}
+	t.locks.Unlock(o.tx.ID(), lock.ForNode(pg))
+}
+
+// pinSignal marks a node's signaling lock as retained until the owning
+// transaction terminates (the insert target-leaf rule, §7.2: releasing it
+// early would let the leaf vanish while the transaction's logical undo
+// might still need to walk its rightlink chain).
+func (o *op) pinSignal(pg page.PageID) {
+	t := o.t
+	t.pinMu.Lock()
+	set := t.pinned[o.tx.ID()]
+	if set == nil {
+		set = make(map[page.PageID]bool)
+		t.pinned[o.tx.ID()] = set
+	}
+	set[pg] = true
+	t.pinMu.Unlock()
+}
+
+// TxnFinished releases bookkeeping for a finished transaction. The lock
+// manager has already dropped its locks; this clears the pin table. The
+// facade calls it after commit/abort.
+func (t *Tree) TxnFinished(id page.TxnID) {
+	t.pinMu.Lock()
+	delete(t.pinned, id)
+	t.pinMu.Unlock()
+}
+
+// fetch pins a page with exact no-latch-during-I/O accounting: a disk read
+// performed by this call while the operation holds any node latch counts as
+// a latched I/O (the protocol's descent path never produces one; the only
+// candidates are rare rightlink chases during ascent, see Stats.LatchedIOs).
+func (o *op) fetch(id page.PageID) (*buffer.Frame, error) {
+	f, missed, err := o.t.pool.FetchEx(id)
+	if err != nil {
+		return nil, err
+	}
+	if missed {
+		if o.latches > 0 {
+			o.t.Stats.LatchedIOs.Add(1)
+			if o.t.cfg.AssertNoLatchOnIO {
+				panic(fmt.Sprintf("gist: buffer miss for page %d while holding %d latches", id, o.latches))
+			}
+		} else {
+			o.t.Stats.LatchlessIOs.Add(1)
+		}
+	}
+	return f, nil
+}
+
+func (o *op) latchPage(f *buffer.Frame, m latch.Mode) {
+	f.Latch.Acquire(m)
+	o.latches++
+}
+
+func (o *op) unlatchPage(f *buffer.Frame, m latch.Mode) {
+	f.Latch.Release(m)
+	o.latches--
+}
+
+// computedBP returns the union of all entry predicates on a node — the
+// node's bounding predicate as derivable from its content. Logically
+// deleted entries are included: they are physically present and must remain
+// reachable (§7).
+func (t *Tree) computedBP(p *page.Page) []byte {
+	var bp []byte
+	for i := 0; i < p.NumSlots(); i++ {
+		e, err := p.Entry(i)
+		if err != nil {
+			continue
+		}
+		bp = t.ops.Union(bp, e.Pred)
+	}
+	return bp
+}
+
+// needsSplit reports whether inserting an entry of the given encoded size
+// requires splitting the node first.
+func (t *Tree) needsSplit(p *page.Page, encodedLen int) bool {
+	if t.cfg.MaxEntries > 0 && p.NumSlots() >= t.cfg.MaxEntries {
+		return true
+	}
+	return p.FreeSpaceAfterCompaction() < encodedLen
+}
+
+// searchPredConflict builds the conflict test between a new key being
+// inserted and an attached predicate: search predicates conflict when the
+// key matches their query; insert predicates (unique-index key markers)
+// conflict when the two keys are equal under the extension's semantics.
+func (t *Tree) keyConflictsWith(key []byte) func(*predicate.Predicate) bool {
+	return func(p *predicate.Predicate) bool {
+		switch p.Kind {
+		case predicate.Search:
+			return t.ops.Consistent(key, p.Data)
+		default:
+			return t.ops.Consistent(key, t.ops.KeyQuery(p.Data))
+		}
+	}
+}
+
+// blockOnPredicates waits for the owner transactions of the given
+// predicates to terminate, by taking (and immediately dropping) S locks on
+// their transaction IDs (§10.3). The caller must hold no latches.
+func (o *op) blockOnPredicates(conflicts []*predicate.Predicate) error {
+	for _, p := range conflicts {
+		o.t.Stats.PredBlocks.Add(1)
+		if err := o.tx.Lock(lock.ForTxn(p.Owner), lock.S); err != nil {
+			return wrapLockErr(err)
+		}
+		o.t.locks.Unlock(o.tx.ID(), lock.ForTxn(p.Owner))
+	}
+	return nil
+}
+
+// RegisterRecoveryHandlers installs the tree's undo handlers on tm without
+// opening any tree. Restart recovery needs the handlers before the undo
+// pass, but trees can only be opened after redo has reconstructed their
+// anchors; the handlers themselves are independent of any extension's Ops
+// (logical undo locates entries by RID, never by predicate semantics).
+func RegisterRecoveryHandlers(tm *txn.Manager, pool *buffer.Pool) {
+	t := &Tree{
+		pool:      pool,
+		tm:        tm,
+		log:       tm.Log(),
+		locks:     tm.Locks(),
+		preds:     tm.Predicates(),
+		activeOps: make(map[uint64]uint64),
+		pinned:    make(map[page.TxnID]map[page.PageID]bool),
+	}
+	t.registerUndo()
+}
+
+// Ops returns the tree's extension methods.
+func (t *Tree) Ops() Ops { return t.ops }

@@ -1,0 +1,162 @@
+package gist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lock"
+	"repro/internal/page"
+	"repro/internal/predicate"
+	"repro/internal/txn"
+
+	"repro/internal/buffer"
+)
+
+// SearchResult is one (key, RID) pair returned by a search.
+type SearchResult struct {
+	Key []byte
+	RID page.RID
+}
+
+// stackEntry is a pending node visit: the page pointer and the value of the
+// tree-global counter memorized when the pointer was read (Figure 3). A
+// node whose NSN exceeds the memorized value has split since the pointer
+// was read, and the operation compensates by following its rightlink under
+// the same memorized value.
+type stackEntry struct {
+	pg  page.PageID
+	nsn page.LSN
+}
+
+// Search returns all leaf entries whose keys are consistent with query,
+// using the traversal of Figure 3 of the paper: a depth-first walk over all
+// subtrees with consistent bounding predicates, with split compensation via
+// NSNs and rightlinks, predicate attachment top-down at every visited node
+// (under RepeatableRead), and S locks on the RIDs of all returned entries.
+//
+// The operation holds at most one node latch at a time and never holds a
+// latch while blocking on a lock or performing I/O: when a lock conflict is
+// met the node is unlatched, the operation blocks, and the node (and its
+// split chain, guided by the originally memorized NSN) is rescanned.
+func (t *Tree) Search(tx *txn.Txn, query []byte, iso Isolation) ([]SearchResult, error) {
+	t.Stats.Searches.Add(1)
+	o := t.opEnter(tx)
+	defer o.exit()
+	var pred *predicate.Predicate
+	if iso == RepeatableRead {
+		pred = t.preds.New(tx.ID(), predicate.Search, query)
+	}
+	// A search blocks behind conflicting insert predicates already
+	// attached (FIFO fairness, §10.3).
+	conflicts := func(p *predicate.Predicate) bool {
+		if p.Kind != predicate.Insert {
+			return false
+		}
+		return t.ops.Consistent(p.Data, query)
+	}
+	return t.searchCore(o, query, iso, pred, conflicts)
+}
+
+// searchCore is the traversal shared by Search and the search phase of
+// unique insertion: a cursor opened on the caller's operation context and
+// drained to completion. attach (if non-nil) is the predicate attached to
+// every visited node, and conflicts decides which already-attached
+// predicates ahead of it force the operation to block.
+func (t *Tree) searchCore(o *op, query []byte, iso Isolation, attach *predicate.Predicate, conflicts func(*predicate.Predicate) bool) ([]SearchResult, error) {
+	// Counter before root pointer: see locateLeaf for why this order is
+	// load-bearing against racing root splits.
+	nsn := t.counter()
+	root, err := t.rootID()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cursor{
+		t:         t,
+		tx:        o.tx,
+		query:     query,
+		iso:       iso,
+		o:         o, // owned by the caller; not closed here
+		pred:      attach,
+		stack:     []stackEntry{{pg: root, nsn: nsn}},
+		seen:      make(map[page.RID]bool),
+		conflicts: conflicts,
+	}
+	o.signal(root)
+	var out []SearchResult
+	for {
+		r, ok, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// lockBlock describes a record lock the scan must block on before it can
+// continue.
+type lockBlock struct {
+	rid page.RID
+}
+
+// scanLeaf collects matching entries from a latched leaf. If a record lock
+// cannot be taken without blocking it returns a non-nil lockBlock; the
+// caller must unlatch, block, and rescan. Entries whose data RIDs are
+// already in seen are skipped so that rescans never duplicate results
+// (footnote 9 of the paper).
+func (o *op) scanLeaf(f *buffer.Frame, se stackEntry, query []byte, iso Isolation, seen map[page.RID]bool, results *[]SearchResult) (*lockBlock, error) {
+	t := o.t
+	for i := 0; i < f.Page.NumSlots(); i++ {
+		e, err := f.Page.Entry(i)
+		if err != nil {
+			continue
+		}
+		if !t.ops.Consistent(e.Pred, query) {
+			continue
+		}
+		if seen[e.RID] {
+			continue
+		}
+		if !t.locks.TryLock(o.tx.ID(), lock.ForRID(e.RID), lock.S) {
+			// A writer (inserter or logical deleter) holds the
+			// record: Degree 3 requires waiting for it. The
+			// deleted entry's physical presence is exactly what
+			// gives us this chance to block (§7).
+			return &lockBlock{rid: e.RID}, nil
+		}
+		// Lock acquired instantly; the entry state is final for any
+		// terminated writer: a committed delete leaves the mark set,
+		// an aborted delete has unmarked it.
+		if e.Deleted {
+			// Not a result; drop the lock so the dead RID can be
+			// reused (range protection is the predicate's job).
+			t.locks.Unlock(o.tx.ID(), lock.ForRID(e.RID))
+			continue
+		}
+		key := append([]byte(nil), e.Pred...)
+		*results = append(*results, SearchResult{Key: key, RID: e.RID})
+		seen[e.RID] = true
+		if iso == ReadCommitted {
+			t.locks.Unlock(o.tx.ID(), lock.ForRID(e.RID))
+		}
+	}
+	return nil, nil
+}
+
+// lockRecord blocks until the record lock is available, honoring the
+// isolation level's lock duration.
+func (o *op) lockRecord(rid page.RID, iso Isolation) error {
+	err := o.tx.Lock(lock.ForRID(rid), lock.S)
+	if err != nil {
+		if errors.Is(err, lock.ErrDeadlock) {
+			return fmt.Errorf("%w: %v", ErrAborted, err)
+		}
+		return err
+	}
+	if iso == ReadCommitted {
+		o.t.locks.Unlock(o.tx.ID(), lock.ForRID(rid))
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package latch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSharedAllowsConcurrentReaders(t *testing.T) {
+	var l Latch
+	l.Acquire(S)
+	done := make(chan struct{})
+	go func() {
+		l.Acquire(S)
+		l.Release(S)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("second S acquire blocked")
+	}
+	l.Release(S)
+}
+
+func TestExclusiveBlocksShared(t *testing.T) {
+	var l Latch
+	l.Acquire(X)
+	acquired := make(chan struct{})
+	go func() {
+		l.Acquire(S)
+		close(acquired)
+		l.Release(S)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("S acquired while X held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Release(X)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("S never acquired after X release")
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	var l Latch
+	if !l.TryAcquire(X) {
+		t.Fatal("TryAcquire X on free latch failed")
+	}
+	if l.TryAcquire(S) {
+		t.Fatal("TryAcquire S succeeded while X held")
+	}
+	if l.TryAcquire(X) {
+		t.Fatal("TryAcquire X succeeded while X held")
+	}
+	l.Release(X)
+	if !l.TryAcquire(S) {
+		t.Fatal("TryAcquire S on free latch failed")
+	}
+	if l.TryAcquire(X) {
+		t.Fatal("TryAcquire X succeeded while S held")
+	}
+	l.Release(S)
+}
+
+func TestMutualExclusionCounter(t *testing.T) {
+	var l Latch
+	var counter int64
+	var wg sync.WaitGroup
+	const goroutines, iters = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Acquire(X)
+				// Non-atomic increment protected only by the latch.
+				counter = counter + 1
+				l.Release(X)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Errorf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+func TestReadersSeeConsistentPair(t *testing.T) {
+	// Writers keep a pair equal under X; readers under S must never see
+	// a torn pair.
+	var l Latch
+	var a, b int64
+	stop := make(chan struct{})
+	var torn atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.Acquire(S)
+				if a != b {
+					torn.Store(true)
+				}
+				l.Release(S)
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		l.Acquire(X)
+		a++
+		b++
+		l.Release(X)
+	}
+	close(stop)
+	wg.Wait()
+	if torn.Load() {
+		t.Error("reader observed torn write under S latch")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if S.String() != "S" || X.String() != "X" {
+		t.Errorf("mode strings: %s %s", S, X)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	before := GlobalStats.XAcquires.Load()
+	var l Latch
+	l.Acquire(X)
+	l.Release(X)
+	if GlobalStats.XAcquires.Load() != before+1 {
+		t.Error("X acquire not counted")
+	}
+}

@@ -1,0 +1,449 @@
+// Package lock implements the transaction lock manager used by the hybrid
+// isolation mechanism of the paper: two-phase S/X locks on data records,
+// transaction-ID locks used to block "on a predicate" by blocking on the
+// predicate's owner transaction (§10.3), and signaling locks on tree nodes
+// that protect node deletion via the drain technique (§7.2).
+//
+// Unlike latches (package latch), locks live in a hash table keyed by a
+// logical name, are held to a transaction discipline, and participate in
+// deadlock detection: when a request would block, the manager searches the
+// waits-for graph for a cycle and, if the requester is part of one, denies
+// the request with ErrDeadlock so the caller can abort and retry.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/page"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes. X conflicts with everything; S conflicts with X only.
+const (
+	S Mode = iota
+	X
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == S {
+		return "S"
+	}
+	return "X"
+}
+
+func compatible(a, b Mode) bool { return a == S && b == S }
+
+// covers reports whether holding mode a satisfies a request for mode b.
+func covers(a, b Mode) bool { return a == X || b == S }
+
+// Space is a lock namespace; names from different spaces never collide.
+type Space uint8
+
+// Lock namespaces.
+const (
+	// SpaceRecord locks data records by RID (two-phase data record
+	// locking, §4.3).
+	SpaceRecord Space = iota
+	// SpaceNode holds signaling locks on tree nodes (§7.2). These are
+	// ordinary S locks as far as the manager is concerned.
+	SpaceNode
+	// SpaceTxn holds each transaction's self lock: a transaction takes
+	// an X lock on its own ID at start; another operation blocks "on
+	// that transaction" (e.g., on its predicate) by requesting S (§10.3).
+	SpaceTxn
+)
+
+// Name is a lock name.
+type Name struct {
+	Space Space
+	Key   uint64
+}
+
+// String implements fmt.Stringer.
+func (n Name) String() string {
+	switch n.Space {
+	case SpaceRecord:
+		return fmt.Sprintf("rec:%d.%d", n.Key>>16, n.Key&0xFFFF)
+	case SpaceNode:
+		return fmt.Sprintf("node:%d", n.Key)
+	default:
+		return fmt.Sprintf("txn:%d", n.Key)
+	}
+}
+
+// ForRID returns the lock name of a data record.
+func ForRID(r page.RID) Name {
+	return Name{Space: SpaceRecord, Key: uint64(r.Page)<<16 | uint64(r.Slot)}
+}
+
+// ForNode returns the signaling-lock name of a tree node.
+func ForNode(id page.PageID) Name { return Name{Space: SpaceNode, Key: uint64(id)} }
+
+// ForTxn returns the self-lock name of a transaction.
+func ForTxn(id page.TxnID) Name { return Name{Space: SpaceTxn, Key: uint64(id)} }
+
+// ErrDeadlock is returned to the requester chosen as deadlock victim.
+var ErrDeadlock = errors.New("lock: deadlock detected")
+
+type waiter struct {
+	txn     page.TxnID
+	mode    Mode
+	upgrade bool
+	done    chan error
+}
+
+type lockList struct {
+	granted map[page.TxnID]Mode
+	queue   []*waiter
+}
+
+// Manager is the lock manager. The zero value is not usable; call NewManager.
+type Manager struct {
+	mu    sync.Mutex
+	table map[Name]*lockList
+	held  map[page.TxnID]map[Name]Mode
+
+	acquisitions int64
+	waits        int64
+	deadlocks    int64
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		table: make(map[Name]*lockList),
+		held:  make(map[page.TxnID]map[Name]Mode),
+	}
+}
+
+func (m *Manager) list(n Name) *lockList {
+	ll, ok := m.table[n]
+	if !ok {
+		ll = &lockList{granted: make(map[page.TxnID]Mode)}
+		m.table[n] = ll
+	}
+	return ll
+}
+
+func (m *Manager) noteHeld(txn page.TxnID, n Name, mode Mode) {
+	hm, ok := m.held[txn]
+	if !ok {
+		hm = make(map[Name]Mode)
+		m.held[txn] = hm
+	}
+	hm[n] = mode
+}
+
+// canGrantLocked reports whether txn's request for mode conflicts with no
+// other granted holder of the list.
+func canGrantLocked(ll *lockList, txn page.TxnID, mode Mode) bool {
+	for holder, hmode := range ll.granted {
+		if holder == txn {
+			continue
+		}
+		if !compatible(mode, hmode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lock acquires the named lock in the given mode for txn, blocking until
+// granted. It is re-entrant (a holder of X implicitly holds S) and handles
+// S→X upgrade. If granting would complete a waits-for cycle, the request
+// fails immediately with ErrDeadlock.
+func (m *Manager) Lock(txn page.TxnID, n Name, mode Mode) error {
+	m.mu.Lock()
+	ll := m.list(n)
+
+	if cur, ok := ll.granted[txn]; ok {
+		if covers(cur, mode) {
+			m.mu.Unlock()
+			return nil
+		}
+		// S→X upgrade.
+		if canGrantLocked(ll, txn, X) {
+			ll.granted[txn] = X
+			m.noteHeld(txn, n, X)
+			m.acquisitions++
+			m.mu.Unlock()
+			return nil
+		}
+		w := &waiter{txn: txn, mode: X, upgrade: true, done: make(chan error, 1)}
+		// Upgrades queue ahead of ordinary waiters (after other
+		// upgrades) to avoid an obvious livelock.
+		i := 0
+		for i < len(ll.queue) && ll.queue[i].upgrade {
+			i++
+		}
+		ll.queue = append(ll.queue, nil)
+		copy(ll.queue[i+1:], ll.queue[i:])
+		ll.queue[i] = w
+		return m.blockLocked(ll, w, n)
+	}
+
+	// Fresh request: strict FIFO — grant only if compatible with the
+	// granted group and nothing waits ahead.
+	if len(ll.queue) == 0 && canGrantLocked(ll, txn, mode) {
+		ll.granted[txn] = mode
+		m.noteHeld(txn, n, mode)
+		m.acquisitions++
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{txn: txn, mode: mode, done: make(chan error, 1)}
+	ll.queue = append(ll.queue, w)
+	return m.blockLocked(ll, w, n)
+}
+
+// blockLocked finishes a Lock call whose waiter has been enqueued. The
+// manager mutex is held on entry and released before blocking.
+func (m *Manager) blockLocked(ll *lockList, w *waiter, n Name) error {
+	m.waits++
+	if m.wouldDeadlockLocked(w.txn) {
+		m.deadlocks++
+		m.removeWaiterLocked(ll, w)
+		m.mu.Unlock()
+		return fmt.Errorf("%w (txn %d on %s)", ErrDeadlock, w.txn, n)
+	}
+	m.mu.Unlock()
+	return <-w.done
+}
+
+func (m *Manager) removeWaiterLocked(ll *lockList, w *waiter) {
+	for i, q := range ll.queue {
+		if q == w {
+			ll.queue = append(ll.queue[:i], ll.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// TryLock attempts to acquire without waiting and reports success. Used by
+// node deletion to probe for signaling locks ("checks for signaling locks
+// by trying to acquire an X-mode lock", §7.2).
+func (m *Manager) TryLock(txn page.TxnID, n Name, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ll := m.list(n)
+	if cur, ok := ll.granted[txn]; ok {
+		if covers(cur, mode) {
+			return true
+		}
+		if canGrantLocked(ll, txn, X) {
+			ll.granted[txn] = X
+			m.noteHeld(txn, n, X)
+			m.acquisitions++
+			return true
+		}
+		return false
+	}
+	if len(ll.queue) == 0 && canGrantLocked(ll, txn, mode) {
+		ll.granted[txn] = mode
+		m.noteHeld(txn, n, mode)
+		m.acquisitions++
+		return true
+	}
+	return false
+}
+
+// Unlock releases txn's hold on n and grants any now-compatible waiters.
+func (m *Manager) Unlock(txn page.TxnID, n Name) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(txn, n)
+}
+
+func (m *Manager) releaseLocked(txn page.TxnID, n Name) {
+	ll, ok := m.table[n]
+	if !ok {
+		return
+	}
+	if _, held := ll.granted[txn]; !held {
+		return
+	}
+	delete(ll.granted, txn)
+	if hm := m.held[txn]; hm != nil {
+		delete(hm, n)
+		if len(hm) == 0 {
+			delete(m.held, txn)
+		}
+	}
+	m.promoteLocked(ll)
+	if len(ll.granted) == 0 && len(ll.queue) == 0 {
+		delete(m.table, n)
+	}
+}
+
+// promoteLocked grants queued waiters in FIFO order while compatible.
+func (m *Manager) promoteLocked(ll *lockList) {
+	for len(ll.queue) > 0 {
+		w := ll.queue[0]
+		if w.upgrade {
+			if !canGrantLocked(ll, w.txn, X) {
+				return
+			}
+			ll.granted[w.txn] = X
+		} else {
+			if !canGrantLocked(ll, w.txn, w.mode) {
+				return
+			}
+			ll.granted[w.txn] = w.mode
+		}
+		m.noteHeld(w.txn, m.nameOfLocked(ll), ll.granted[w.txn])
+		m.acquisitions++
+		ll.queue = ll.queue[1:]
+		w.done <- nil
+	}
+}
+
+// nameOfLocked finds the name of a list (reverse lookup; lists are few and
+// short-lived so the linear scan is acceptable and keeps the struct small).
+func (m *Manager) nameOfLocked(target *lockList) Name {
+	for n, ll := range m.table {
+		if ll == target {
+			return n
+		}
+	}
+	return Name{}
+}
+
+// ReleaseAll releases every lock held by txn (transaction end, 2PL).
+func (m *Manager) ReleaseAll(txn page.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hm := m.held[txn]
+	names := make([]Name, 0, len(hm))
+	for n := range hm {
+		names = append(names, n)
+	}
+	for _, n := range names {
+		m.releaseLocked(txn, n)
+	}
+}
+
+// Holding returns the mode txn holds on n, and whether it holds it at all.
+func (m *Manager) Holding(txn page.TxnID, n Name) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ll, ok := m.table[n]
+	if !ok {
+		return 0, false
+	}
+	mode, ok := ll.granted[txn]
+	return mode, ok
+}
+
+// Holders returns the transactions currently granted the named lock.
+func (m *Manager) Holders(n Name) []page.TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ll, ok := m.table[n]
+	if !ok {
+		return nil
+	}
+	out := make([]page.TxnID, 0, len(ll.granted))
+	for t := range ll.granted {
+		out = append(out, t)
+	}
+	return out
+}
+
+// CopyHolders grants every current holder of src the same mode on dst, as
+// required when a node split must replicate the signaling locks of the
+// original node onto the new sibling (§7.2, §10.3). Holders that would
+// conflict on dst are skipped (cannot happen for the all-S signaling use).
+func (m *Manager) CopyHolders(src, dst Name) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sl, ok := m.table[src]
+	if !ok {
+		return
+	}
+	dl := m.list(dst)
+	for txn, mode := range sl.granted {
+		if cur, held := dl.granted[txn]; held && covers(cur, mode) {
+			continue
+		}
+		if !canGrantLocked(dl, txn, mode) {
+			continue
+		}
+		dl.granted[txn] = mode
+		m.noteHeld(txn, dst, mode)
+	}
+	if len(dl.granted) == 0 && len(dl.queue) == 0 {
+		delete(m.table, dst)
+	}
+}
+
+// wouldDeadlockLocked reports whether start is on a cycle of the waits-for
+// graph. An enqueued waiter waits for every granted holder it conflicts
+// with and for every earlier queued waiter it conflicts with (FIFO order is
+// a real dependency).
+func (m *Manager) wouldDeadlockLocked(start page.TxnID) bool {
+	adj := make(map[page.TxnID][]page.TxnID)
+	for _, ll := range m.table {
+		for i, w := range ll.queue {
+			for holder, hmode := range ll.granted {
+				if holder != w.txn && !compatible(w.mode, hmode) {
+					adj[w.txn] = append(adj[w.txn], holder)
+				}
+			}
+			for j := 0; j < i; j++ {
+				ahead := ll.queue[j]
+				if ahead.txn != w.txn && !compatible(w.mode, ahead.mode) {
+					adj[w.txn] = append(adj[w.txn], ahead.txn)
+				}
+			}
+		}
+	}
+	// DFS from start looking for a path back to start.
+	seen := make(map[page.TxnID]bool)
+	var dfs func(t page.TxnID) bool
+	dfs = func(t page.TxnID) bool {
+		for _, next := range adj[t] {
+			if next == start {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// AbortWaiter cancels any pending request by txn, failing it with the
+// provided error. Used when a transaction is being killed externally.
+func (m *Manager) AbortWaiter(txn page.TxnID, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ll := range m.table {
+		for i := 0; i < len(ll.queue); i++ {
+			if ll.queue[i].txn == txn {
+				w := ll.queue[i]
+				ll.queue = append(ll.queue[:i], ll.queue[i+1:]...)
+				w.done <- err
+				i--
+			}
+		}
+		m.promoteLocked(ll)
+	}
+}
+
+// Stats returns cumulative counters: total grants, requests that waited,
+// and deadlocks detected.
+func (m *Manager) Stats() (acquisitions, waits, deadlocks int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.acquisitions, m.waits, m.deadlocks
+}

@@ -1,0 +1,347 @@
+// Package predicate implements the predicate manager of §10.3 of the
+// paper: the half of the hybrid isolation mechanism that prevents phantom
+// insertions.
+//
+// Search operations attach their search predicate to every node they visit
+// (top-down, starting at the root); insert operations check only the
+// predicates attached to their target leaf — far fewer than a tree-global
+// predicate list. The manager maintains the three data structures the paper
+// prescribes: a list of predicates per transaction, a list of node
+// attachments per predicate, and a FIFO list of the predicates attached to
+// each node. FIFO ordering plus the rule that inserts leave their own key
+// behind as an insert predicate provides fair (starvation-free) blocking.
+//
+// The manager is oblivious to predicate semantics: conflicts are decided by
+// a caller-supplied consistency function (the same extension method that
+// drives tree navigation).
+package predicate
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/page"
+)
+
+// Kind distinguishes search predicates (attached by scans to guard their
+// whole search range) from insert predicates (left behind by inserts so
+// later scans block, and by the search phase of unique insertion, §8).
+type Kind int
+
+// Predicate kinds.
+const (
+	Search Kind = iota
+	Insert
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Search {
+		return "search"
+	}
+	return "insert"
+}
+
+// Predicate is a registered predicate lock. Data is the encoded query (for
+// Search) or key (for Insert); its interpretation belongs to the access
+// method extension.
+type Predicate struct {
+	ID    uint64
+	Owner page.TxnID
+	Kind  Kind
+	Data  []byte
+
+	seq uint64 // global arrival order, drives per-node FIFO fairness
+}
+
+// attachment links a predicate to a node with its arrival order preserved.
+type attachment struct {
+	pred *Predicate
+	seq  uint64
+}
+
+// Manager tracks predicates and their node attachments.
+type Manager struct {
+	mu      sync.Mutex
+	nextID  uint64
+	nextSeq uint64
+	byTxn   map[page.TxnID][]*Predicate
+	byNode  map[page.PageID][]attachment
+	nodesOf map[*Predicate]map[page.PageID]bool
+
+	checks        atomic.Int64 // conflict checks performed
+	predsExamined atomic.Int64 // predicates examined across all checks
+}
+
+// NewManager returns an empty predicate manager.
+func NewManager() *Manager {
+	return &Manager{
+		byTxn:   make(map[page.TxnID][]*Predicate),
+		byNode:  make(map[page.PageID][]attachment),
+		nodesOf: make(map[*Predicate]map[page.PageID]bool),
+	}
+}
+
+// New registers a predicate for owner. The predicate is not yet attached to
+// any node.
+func (m *Manager) New(owner page.TxnID, kind Kind, data []byte) *Predicate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	p := &Predicate{ID: m.nextID, Owner: owner, Kind: kind, Data: data}
+	m.byTxn[owner] = append(m.byTxn[owner], p)
+	m.nodesOf[p] = make(map[page.PageID]bool)
+	return p
+}
+
+// Attach adds p to node's FIFO list (idempotent). It returns the predicates
+// attached ahead of p on that node that belong to other transactions and
+// for which conflicts reports true — the FIFO fairness rule: a newcomer
+// must wait behind conflicting predicates already in the list.
+func (m *Manager) Attach(p *Predicate, node page.PageID, conflicts func(other *Predicate) bool) []*Predicate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nodesOf[p] == nil {
+		// Predicate was released concurrently; nothing to attach.
+		return nil
+	}
+	if !m.nodesOf[p][node] {
+		m.nextSeq++
+		seq := m.nextSeq
+		if p.seq == 0 {
+			p.seq = seq
+		}
+		m.byNode[node] = append(m.byNode[node], attachment{pred: p, seq: seq})
+		m.nodesOf[p][node] = true
+	}
+	if conflicts == nil {
+		return nil
+	}
+	var ahead []*Predicate
+	m.checks.Add(1)
+	for _, a := range m.byNode[node] {
+		if a.pred == p {
+			break
+		}
+		if a.pred.Owner == p.Owner {
+			continue
+		}
+		m.predsExamined.Add(1)
+		if conflicts(a.pred) {
+			ahead = append(ahead, a.pred)
+		}
+	}
+	return ahead
+}
+
+// AttachedTo returns the predicates attached to node in FIFO order.
+func (m *Manager) AttachedTo(node page.PageID) []*Predicate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Predicate, 0, len(m.byNode[node]))
+	for _, a := range m.byNode[node] {
+		out = append(out, a.pred)
+	}
+	return out
+}
+
+// Conflicting returns the predicates attached to node, owned by other
+// transactions, for which conflicts reports true. This is the insert
+// operation's target-leaf check (§4.3 step 6). The counters feeding
+// experiment E9 are updated.
+func (m *Manager) Conflicting(node page.PageID, self page.TxnID, conflicts func(*Predicate) bool) []*Predicate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checks.Add(1)
+	var out []*Predicate
+	for _, a := range m.byNode[node] {
+		if a.pred.Owner == self {
+			continue
+		}
+		m.predsExamined.Add(1)
+		if conflicts(a.pred) {
+			out = append(out, a.pred)
+		}
+	}
+	return out
+}
+
+// ConflictingGlobal scans every registered predicate — the tree-global
+// check of pure predicate locking (§4.2), implemented only as the baseline
+// for experiment E9.
+func (m *Manager) ConflictingGlobal(self page.TxnID, conflicts func(*Predicate) bool) []*Predicate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checks.Add(1)
+	var out []*Predicate
+	for _, preds := range m.byTxn {
+		for _, p := range preds {
+			if p.Owner == self {
+				continue
+			}
+			m.predsExamined.Add(1)
+			if conflicts(p) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// ReplicateOnSplit attaches to the new sibling every predicate attached to
+// orig for which applies reports true (its predicate is consistent with the
+// new node's BP) — maintaining the invariant that a search predicate
+// consistent with a node's BP is attached to that node (§4.3, case 1).
+func (m *Manager) ReplicateOnSplit(orig, sibling page.PageID, applies func(*Predicate) bool) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, a := range m.byNode[orig] {
+		if applies != nil && !applies(a.pred) {
+			continue
+		}
+		if m.nodesOf[a.pred][sibling] {
+			continue
+		}
+		m.nextSeq++
+		m.byNode[sibling] = append(m.byNode[sibling], attachment{pred: a.pred, seq: m.nextSeq})
+		m.nodesOf[a.pred][sibling] = true
+		n++
+	}
+	return n
+}
+
+// Percolate copies predicates attached to parent down to child when the
+// child's BP expansion makes them newly consistent with it (§4.3, case 2).
+// applies receives each parent-attached predicate and reports whether it
+// must now cover the child.
+func (m *Manager) Percolate(parent, child page.PageID, applies func(*Predicate) bool) int {
+	// Identical mechanics to split replication; kept separate for
+	// tracing and statistics clarity.
+	return m.ReplicateOnSplit(parent, child, applies)
+}
+
+// Detach removes p from a single node.
+func (m *Manager) Detach(p *Predicate, node page.PageID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.detachLocked(p, node)
+}
+
+func (m *Manager) detachLocked(p *Predicate, node page.PageID) {
+	if !m.nodesOf[p][node] {
+		return
+	}
+	delete(m.nodesOf[p], node)
+	as := m.byNode[node]
+	for i, a := range as {
+		if a.pred == p {
+			m.byNode[node] = append(as[:i], as[i+1:]...)
+			break
+		}
+	}
+	if len(m.byNode[node]) == 0 {
+		delete(m.byNode, node)
+	}
+}
+
+// Release removes a single predicate and all its attachments (used for the
+// transient "=key" predicates of unique insertion once the insert finishes,
+// §8).
+func (m *Manager) Release(p *Predicate) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(p)
+}
+
+func (m *Manager) releaseLocked(p *Predicate) {
+	for node := range m.nodesOf[p] {
+		as := m.byNode[node]
+		for i, a := range as {
+			if a.pred == p {
+				m.byNode[node] = append(as[:i], as[i+1:]...)
+				break
+			}
+		}
+		if len(m.byNode[node]) == 0 {
+			delete(m.byNode, node)
+		}
+	}
+	delete(m.nodesOf, p)
+	preds := m.byTxn[p.Owner]
+	for i, q := range preds {
+		if q == p {
+			m.byTxn[p.Owner] = append(preds[:i], preds[i+1:]...)
+			break
+		}
+	}
+	if len(m.byTxn[p.Owner]) == 0 {
+		delete(m.byTxn, p.Owner)
+	}
+}
+
+// ReleaseTxn removes every predicate owned by txn and all their node
+// attachments; called when the owner transaction terminates (predicates
+// live until end of transaction, §4.3).
+func (m *Manager) ReleaseTxn(txn page.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	preds := append([]*Predicate(nil), m.byTxn[txn]...)
+	for _, p := range preds {
+		m.releaseLocked(p)
+	}
+}
+
+// DropNode removes every attachment at a node being deleted from the tree.
+// The predicates themselves survive on their other attachments.
+func (m *Manager) DropNode(node page.PageID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, a := range m.byNode[node] {
+		delete(m.nodesOf[a.pred], node)
+	}
+	delete(m.byNode, node)
+}
+
+// PredicatesOf returns the predicates registered by txn.
+func (m *Manager) PredicatesOf(txn page.TxnID) []*Predicate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Predicate(nil), m.byTxn[txn]...)
+}
+
+// NodesOf returns the nodes p is attached to.
+func (m *Manager) NodesOf(p *Predicate) []page.PageID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]page.PageID, 0, len(m.nodesOf[p]))
+	for n := range m.nodesOf[p] {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Counts returns the total number of live predicates and attachments.
+func (m *Manager) Counts() (preds, attachments int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ps := range m.byTxn {
+		preds += len(ps)
+	}
+	for _, as := range m.byNode {
+		attachments += len(as)
+	}
+	return preds, attachments
+}
+
+// Stats returns the number of conflict checks performed and the cumulative
+// number of predicates examined by them (experiment E9's metric).
+func (m *Manager) Stats() (checks, predsExamined int64) {
+	return m.checks.Load(), m.predsExamined.Load()
+}
+
+// ResetStats zeroes the counters.
+func (m *Manager) ResetStats() {
+	m.checks.Store(0)
+	m.predsExamined.Store(0)
+}

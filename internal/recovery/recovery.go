@@ -1,0 +1,306 @@
+// Package recovery implements ARIES-style restart (§9 of the paper):
+// analysis over the log from the last checkpoint, page-oriented redo that
+// repeats history, and undo of loser transactions with logical undo for
+// leaf-entry operations and compensation log records throughout.
+//
+// Structure modifications that completed before the crash are protected by
+// their dummy CLRs and are never undone; one that was interrupted mid-
+// flight is rolled back page-oriented through the same undo handlers used
+// at runtime. Per §9.2, the logical undo of leaf operations performs no
+// structure modifications of its own.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/gist"
+	"repro/internal/heap"
+	"repro/internal/latch"
+	"repro/internal/page"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Recovery drives a restart over an existing (survived) log and disk with a
+// fresh buffer pool and transaction manager.
+type Recovery struct {
+	Log  *wal.Log
+	Pool *buffer.Pool
+	Disk storage.Manager
+	TM   *txn.Manager
+}
+
+// Analysis is the outcome of the analysis pass.
+type Analysis struct {
+	// Losers maps each in-flight transaction to its last log record.
+	Losers map[page.TxnID]page.LSN
+	// DPT is the reconstructed dirty page table (page -> recLSN).
+	DPT map[page.PageID]page.LSN
+	// RedoLSN is where the redo pass starts.
+	RedoLSN page.LSN
+}
+
+// Stats reports what a restart did.
+type Stats struct {
+	Analyzed    int
+	Redone      int
+	RedoSkipped int
+	Losers      int
+	Undone      int
+}
+
+// Run performs the full restart. register is called between redo and undo:
+// it must open the trees (which installs their undo handlers on the
+// transaction manager) and may return them for the caller's use.
+func (r *Recovery) Run(register func() error) (*Stats, error) {
+	a, n := r.Analyze()
+	st := &Stats{Analyzed: n, Losers: len(a.Losers)}
+	if err := r.Redo(a, st); err != nil {
+		return st, fmt.Errorf("recovery: redo: %w", err)
+	}
+	if register != nil {
+		if err := register(); err != nil {
+			return st, fmt.Errorf("recovery: register: %w", err)
+		}
+	}
+	if err := r.Undo(a, st); err != nil {
+		return st, fmt.Errorf("recovery: undo: %w", err)
+	}
+	if err := r.Log.FlushAll(); err != nil {
+		return st, err
+	}
+	if err := r.Pool.FlushAll(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// Analyze scans forward from the last checkpoint, rebuilding the active
+// transaction table and the dirty page table.
+func (r *Recovery) Analyze() (*Analysis, int) {
+	a := &Analysis{
+		Losers: make(map[page.TxnID]page.LSN),
+		DPT:    make(map[page.PageID]page.LSN),
+	}
+	start := page.LSN(1)
+	if ck := r.Log.MasterCheckpoint(); ck != 0 {
+		start = ck
+		if rec, err := r.Log.Get(ck); err == nil {
+			for _, ts := range rec.ATT {
+				a.Losers[ts.ID] = ts.LastLSN
+			}
+			for _, dp := range rec.DPT {
+				a.DPT[dp.ID] = dp.RecLSN
+			}
+		}
+	}
+	n := 0
+	r.Log.Scan(start, func(rec *wal.Record) bool {
+		n++
+		if rec.Txn != 0 {
+			switch rec.Type {
+			case wal.RecEnd:
+				delete(a.Losers, rec.Txn)
+			case wal.RecCommit:
+				// Committed but End not yet durable: the
+				// transaction wins; nothing to undo.
+				delete(a.Losers, rec.Txn)
+			default:
+				a.Losers[rec.Txn] = rec.LSN
+			}
+		}
+		for _, pg := range touchedPages(rec) {
+			if _, ok := a.DPT[pg]; !ok {
+				a.DPT[pg] = rec.LSN
+			}
+		}
+		return true
+	})
+	a.RedoLSN = page.LSN(1)
+	if len(a.DPT) > 0 {
+		min := page.LSN(1 << 62)
+		for _, l := range a.DPT {
+			if l != 0 && l < min {
+				min = l
+			}
+		}
+		if min != 1<<62 {
+			a.RedoLSN = min
+		}
+	} else if ck := r.Log.MasterCheckpoint(); ck != 0 {
+		a.RedoLSN = ck
+	}
+	return a, n
+}
+
+// touchedPages lists the pages whose images a record's redo modifies.
+func touchedPages(rec *wal.Record) []page.PageID {
+	base := rec.Type.Base()
+	switch base {
+	case wal.RecSplit:
+		if rec.Type.IsCLR() {
+			return []page.PageID{rec.Pg}
+		}
+		return []page.PageID{rec.Pg, rec.Pg2}
+	case wal.RecParentEntryUpdate, wal.RecInternalEntryAdd, wal.RecInternalEntryUpdate,
+		wal.RecInternalEntryDelete, wal.RecAddLeafEntry, wal.RecMarkLeafEntry,
+		wal.RecGarbageCollection, wal.RecGetPage, wal.RecFreePage, wal.RecRootChange,
+		wal.RecHeapInsert, wal.RecHeapDelete:
+		return []page.PageID{rec.Pg}
+	default:
+		return nil
+	}
+}
+
+// Redo repeats history from the redo point: every page-modifying record is
+// re-applied to pages whose pageLSN predates it.
+func (r *Recovery) Redo(a *Analysis, st *Stats) error {
+	var rerr error
+	r.Log.Scan(a.RedoLSN, func(rec *wal.Record) bool {
+		if err := r.redoRecord(rec, st); err != nil {
+			rerr = fmt.Errorf("redo of %v: %w", rec, err)
+			return false
+		}
+		return true
+	})
+	return rerr
+}
+
+func (r *Recovery) redoRecord(rec *wal.Record, st *Stats) error {
+	base := rec.Type.Base()
+	pages := touchedPages(rec)
+	if len(pages) == 0 {
+		return nil
+	}
+
+	// Allocation-state redo first (Table 1: Get-Page marks the page
+	// unavailable for allocation, Free-Page marks it available).
+	if base == wal.RecGetPage && !rec.Type.IsCLR() {
+		if err := r.Disk.EnsureAllocated(rec.Pg); err != nil {
+			return err
+		}
+	}
+	if base == wal.RecFreePage && !rec.Type.IsCLR() {
+		// Apply the content flag if the page still exists, then free.
+		if f, err := r.Pool.Fetch(rec.Pg); err == nil {
+			applied := false
+			f.Latch.Acquire(latch.X)
+			if f.Page.LSN() < rec.LSN {
+				f.Page.SetFlags(f.Page.Flags() | page.FlagDeallocated)
+				f.Page.SetLSN(rec.LSN)
+				applied = true
+			}
+			f.Latch.Release(latch.X)
+			r.Pool.Unpin(f, applied, rec.LSN)
+		}
+		st.Redone++
+		if err := r.Pool.Deallocate(rec.Pg); err != nil && !errors.Is(err, storage.ErrNoSuchPage) {
+			return err
+		}
+		return nil
+	}
+	if base == wal.RecGetPage && rec.Type.IsCLR() {
+		// Compensated allocation: the page goes back to the free pool.
+		st.Redone++
+		if err := r.Pool.Deallocate(rec.Pg); err != nil && !errors.Is(err, storage.ErrNoSuchPage) {
+			return err
+		}
+		return nil
+	}
+	if base == wal.RecFreePage && rec.Type.IsCLR() {
+		if err := r.Disk.EnsureAllocated(rec.Pg); err != nil {
+			return err
+		}
+	}
+
+	for _, pg := range pages {
+		f, err := r.Pool.Fetch(pg)
+		if errors.Is(err, storage.ErrNoSuchPage) {
+			// Allocation state lagged the log (meta not synced at
+			// crash); adopt the page and redo onto a fresh image.
+			if aerr := r.Disk.EnsureAllocated(pg); aerr != nil {
+				return aerr
+			}
+			f, err = r.Pool.Fetch(pg)
+		}
+		if err != nil {
+			return err
+		}
+		f.Latch.Acquire(latch.X)
+		if f.Page.LSN() >= rec.LSN {
+			f.Latch.Release(latch.X)
+			r.Pool.Unpin(f, false, 0)
+			st.RedoSkipped++
+			continue
+		}
+		switch base {
+		case wal.RecHeapInsert, wal.RecHeapDelete:
+			err = heap.Redo(rec, &f.Page)
+		default:
+			err = redoTreeOnPage(rec, &f.Page, pg)
+		}
+		f.Latch.Release(latch.X)
+		r.Pool.Unpin(f, err == nil, rec.LSN)
+		if err != nil {
+			return err
+		}
+		st.Redone++
+	}
+	return nil
+}
+
+// redoTreeOnPage applies a tree record to one of its pages. For a Split the
+// same record is applied separately to each side; gist.Redo dispatches on
+// the page id.
+func redoTreeOnPage(rec *wal.Record, p *page.Page, pg page.PageID) error {
+	if !gist.TouchesPage(rec, pg) {
+		return nil
+	}
+	return gist.Redo(rec, p, pg)
+}
+
+// Undo rolls back every loser transaction through the registered undo
+// handlers, exactly as a runtime abort would, writing CLRs so that a crash
+// during restart resumes correctly.
+func (r *Recovery) Undo(a *Analysis, st *Stats) error {
+	for id, lastLSN := range a.Losers {
+		tx, err := r.TM.AdoptLoser(id, lastLSN)
+		if err != nil {
+			return err
+		}
+		if err := tx.Abort(); err != nil {
+			return fmt.Errorf("loser %d: %w", id, err)
+		}
+		st.Undone++
+	}
+	return nil
+}
+
+// Checkpoint takes a fuzzy checkpoint: it logs the ATT and DPT, flushes the
+// log, flushes all dirty pages, syncs the disk, and truncates the log head
+// up to the earliest point a restart could still need — the minimum of the
+// checkpoint itself and the first LSN of any live transaction (whose
+// backchain rollback must be able to walk).
+func Checkpoint(tm *txn.Manager, pool *buffer.Pool, disk storage.Manager) (page.LSN, error) {
+	lsn, err := tm.Checkpoint(pool.DirtyPages())
+	if err != nil {
+		return 0, err
+	}
+	if err := pool.FlushAll(); err != nil {
+		return 0, err
+	}
+	if err := disk.Sync(); err != nil {
+		return 0, err
+	}
+	bound := lsn
+	if m := tm.MinActiveFirstLSN(); m != 0 && m < bound {
+		bound = m
+	}
+	if err := tm.Log().DiscardBefore(bound); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}

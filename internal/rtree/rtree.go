@@ -1,0 +1,215 @@
+// Package rtree specializes the generalized search tree to Guttman's
+// R-tree: keys are 2-D points or rectangles, bounding predicates are
+// minimum bounding rectangles (MBRs), and queries are rectangles matched by
+// intersection. This is the canonical non-linear, non-partitioning key
+// domain for which the paper's NSN-based link protocol was designed —
+// key-range locking and B-link ordering arguments are inapplicable here.
+//
+// Encodings (canonical, so byte equality of predicates is sound):
+//
+//	point: 16 bytes — x then y, order-preserving float64
+//	rect:  32 bytes — xmin, ymin, xmax, ymax
+//
+// The two are distinguished by length; a point acts as a degenerate rect.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle (closed on all sides).
+type Rect struct {
+	XMin, YMin, XMax, YMax float64
+}
+
+// Point returns the degenerate rectangle at (x, y).
+func Point(x, y float64) Rect { return Rect{x, y, x, y} }
+
+// Valid reports whether the rectangle is non-empty.
+func (r Rect) Valid() bool { return r.XMin <= r.XMax && r.YMin <= r.YMax }
+
+// Intersects reports whether two rectangles share any point.
+func (r Rect) Intersects(o Rect) bool {
+	return r.XMin <= o.XMax && o.XMin <= r.XMax && r.YMin <= o.YMax && o.YMin <= r.YMax
+}
+
+// Contains reports whether o lies entirely within r.
+func (r Rect) Contains(o Rect) bool {
+	return r.XMin <= o.XMin && o.XMax <= r.XMax && r.YMin <= o.YMin && o.YMax <= r.YMax
+}
+
+// Union returns the minimum bounding rectangle of r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		XMin: math.Min(r.XMin, o.XMin),
+		YMin: math.Min(r.YMin, o.YMin),
+		XMax: math.Max(r.XMax, o.XMax),
+		YMax: math.Max(r.YMax, o.YMax),
+	}
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return (r.XMax - r.XMin) * (r.YMax - r.YMin) }
+
+// Enlargement returns how much r's area grows to accommodate o.
+func (r Rect) Enlargement(o Rect) float64 { return r.Union(o).Area() - r.Area() }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g - %g,%g]", r.XMin, r.YMin, r.XMax, r.YMax)
+}
+
+// orderedFloat encodes a float64 so byte comparison matches numeric order
+// (and, more importantly here, so encodings are canonical per value).
+func orderedFloat(f float64) uint64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return ^u
+	}
+	return u | 1<<63
+}
+
+func unorderedFloat(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// EncodePoint encodes a point key.
+func EncodePoint(x, y float64) []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b, orderedFloat(x))
+	binary.BigEndian.PutUint64(b[8:], orderedFloat(y))
+	return b
+}
+
+// DecodePoint reverses EncodePoint.
+func DecodePoint(b []byte) (x, y float64) {
+	return unorderedFloat(binary.BigEndian.Uint64(b)),
+		unorderedFloat(binary.BigEndian.Uint64(b[8:]))
+}
+
+// EncodeRect encodes a rectangle predicate or query.
+func EncodeRect(r Rect) []byte {
+	b := make([]byte, 32)
+	binary.BigEndian.PutUint64(b, orderedFloat(r.XMin))
+	binary.BigEndian.PutUint64(b[8:], orderedFloat(r.YMin))
+	binary.BigEndian.PutUint64(b[16:], orderedFloat(r.XMax))
+	binary.BigEndian.PutUint64(b[24:], orderedFloat(r.YMax))
+	return b
+}
+
+// DecodeRect reverses EncodeRect.
+func DecodeRect(b []byte) Rect {
+	return Rect{
+		XMin: unorderedFloat(binary.BigEndian.Uint64(b)),
+		YMin: unorderedFloat(binary.BigEndian.Uint64(b[8:])),
+		XMax: unorderedFloat(binary.BigEndian.Uint64(b[16:])),
+		YMax: unorderedFloat(binary.BigEndian.Uint64(b[24:])),
+	}
+}
+
+// AsRect interprets either encoding as a rectangle.
+func AsRect(b []byte) Rect {
+	switch len(b) {
+	case 16:
+		x, y := DecodePoint(b)
+		return Point(x, y)
+	case 32:
+		return DecodeRect(b)
+	default:
+		panic(fmt.Sprintf("rtree: bad predicate length %d", len(b)))
+	}
+}
+
+// Ops implements gist.Ops for 2-D R-trees with Guttman's quadratic split.
+type Ops struct{}
+
+// Consistent reports rectangle intersection.
+func (Ops) Consistent(pred, query []byte) bool {
+	return AsRect(pred).Intersects(AsRect(query))
+}
+
+// Union returns the MBR of both inputs in canonical 32-byte form.
+func (Ops) Union(a, b []byte) []byte {
+	if a == nil {
+		return EncodeRect(AsRect(b))
+	}
+	if b == nil {
+		return EncodeRect(AsRect(a))
+	}
+	return EncodeRect(AsRect(a).Union(AsRect(b)))
+}
+
+// Penalty is Guttman's area enlargement, with area as tiebreaker folded in
+// at vanishing weight.
+func (Ops) Penalty(bp, key []byte) float64 {
+	r := AsRect(bp)
+	return r.Enlargement(AsRect(key)) + 1e-9*r.Area()
+}
+
+// PickSplit implements Guttman's quadratic split: pick the pair of entries
+// whose combined MBR wastes the most area as seeds, then assign each
+// remaining entry to the group whose MBR it enlarges least.
+func (Ops) PickSplit(preds [][]byte) []int {
+	n := len(preds)
+	if n < 2 {
+		// Degenerate; the tree validates that both sides are non-empty
+		// and will reject this, but avoid an index panic here.
+		return []int{0}
+	}
+	rects := make([]Rect, n)
+	for i, p := range preds {
+		rects[i] = AsRect(p)
+	}
+	// Seeds: most wasteful pair.
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := rects[i].Union(rects[j]).Area() - rects[i].Area() - rects[j].Area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+	groupA := []int{seedA}
+	groupB := []int{seedB}
+	mbrA, mbrB := rects[seedA], rects[seedB]
+	half := (n + 1) / 2
+	for i := 0; i < n; i++ {
+		if i == seedA || i == seedB {
+			continue
+		}
+		// Force balance once a group must absorb the rest.
+		switch {
+		case len(groupA) >= half:
+			groupB = append(groupB, i)
+			mbrB = mbrB.Union(rects[i])
+			continue
+		case len(groupB) >= half:
+			groupA = append(groupA, i)
+			mbrA = mbrA.Union(rects[i])
+			continue
+		}
+		da := mbrA.Enlargement(rects[i])
+		db := mbrB.Enlargement(rects[i])
+		if da < db || (da == db && mbrA.Area() <= mbrB.Area()) {
+			groupA = append(groupA, i)
+			mbrA = mbrA.Union(rects[i])
+		} else {
+			groupB = append(groupB, i)
+			mbrB = mbrB.Union(rects[i])
+		}
+	}
+	return groupA
+}
+
+// KeyQuery returns a query matching exactly the given key (the key's own
+// rectangle; for a point key, the degenerate rectangle).
+func (Ops) KeyQuery(key []byte) []byte {
+	return EncodeRect(AsRect(key))
+}

@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/page"
+)
+
+// SlowDisk wraps a Manager and adds a fixed latency to every page read and
+// write. The paper's concurrency protocol is specifically designed so that
+// no node latch is held across an I/O; the throughput experiments (E8) use
+// SlowDisk to make I/O cost visible so that protocols which do hold latches
+// across I/O (the baselines) pay for it.
+type SlowDisk struct {
+	Manager
+	// Latency is added to each ReadPage and WritePage call.
+	Latency time.Duration
+}
+
+// NewSlowDisk wraps m with the given per-operation latency.
+func NewSlowDisk(m Manager, latency time.Duration) *SlowDisk {
+	return &SlowDisk{Manager: m, Latency: latency}
+}
+
+// ReadPage implements Manager.
+func (s *SlowDisk) ReadPage(id page.PageID, buf []byte) error {
+	time.Sleep(s.Latency)
+	return s.Manager.ReadPage(id, buf)
+}
+
+// WritePage implements Manager.
+func (s *SlowDisk) WritePage(id page.PageID, buf []byte) error {
+	time.Sleep(s.Latency)
+	return s.Manager.WritePage(id, buf)
+}
+
+// CrashDisk wraps a Manager and fails every operation once Crash has been
+// called (or once a preset number of writes has completed), simulating a
+// system crash for the recovery experiments (E6). Writes that completed
+// before the crash remain durable in the underlying store.
+type CrashDisk struct {
+	Manager
+	crashed atomic.Bool
+
+	mu          sync.Mutex
+	writesLeft  int // crash after this many more writes; <0 = disabled
+	writesTotal int64
+}
+
+// NewCrashDisk wraps m. The disk operates normally until Crash or
+// CrashAfterWrites triggers.
+func NewCrashDisk(m Manager) *CrashDisk {
+	return &CrashDisk{Manager: m, writesLeft: -1}
+}
+
+// Crash makes every subsequent operation fail with ErrCrashed.
+func (c *CrashDisk) Crash() { c.crashed.Store(true) }
+
+// Crashed reports whether the crash point has been reached.
+func (c *CrashDisk) Crashed() bool { return c.crashed.Load() }
+
+// CrashAfterWrites arms the disk to crash after n more successful page
+// writes complete.
+func (c *CrashDisk) CrashAfterWrites(n int) {
+	c.mu.Lock()
+	c.writesLeft = n
+	c.mu.Unlock()
+}
+
+// WritesTotal returns the number of page writes that have completed.
+func (c *CrashDisk) WritesTotal() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writesTotal
+}
+
+// ReadPage implements Manager.
+func (c *CrashDisk) ReadPage(id page.PageID, buf []byte) error {
+	if c.crashed.Load() {
+		return ErrCrashed
+	}
+	return c.Manager.ReadPage(id, buf)
+}
+
+// WritePage implements Manager.
+func (c *CrashDisk) WritePage(id page.PageID, buf []byte) error {
+	if c.crashed.Load() {
+		return ErrCrashed
+	}
+	err := c.Manager.WritePage(id, buf)
+	if err == nil {
+		c.mu.Lock()
+		c.writesTotal++
+		if c.writesLeft > 0 {
+			c.writesLeft--
+			if c.writesLeft == 0 {
+				c.crashed.Store(true)
+			}
+		}
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// Allocate implements Manager.
+func (c *CrashDisk) Allocate() (page.PageID, error) {
+	if c.crashed.Load() {
+		return 0, ErrCrashed
+	}
+	return c.Manager.Allocate()
+}
+
+// Deallocate implements Manager.
+func (c *CrashDisk) Deallocate(id page.PageID) error {
+	if c.crashed.Load() {
+		return ErrCrashed
+	}
+	return c.Manager.Deallocate(id)
+}
+
+// Sync implements Manager.
+func (c *CrashDisk) Sync() error {
+	if c.crashed.Load() {
+		return ErrCrashed
+	}
+	return c.Manager.Sync()
+}
+
+// EnsureAllocated implements Manager.
+func (c *CrashDisk) EnsureAllocated(id page.PageID) error {
+	if c.crashed.Load() {
+		return ErrCrashed
+	}
+	return c.Manager.EnsureAllocated(id)
+}
+
+// EnsureDeallocated implements Manager.
+func (c *CrashDisk) EnsureDeallocated(id page.PageID) error {
+	if c.crashed.Load() {
+		return ErrCrashed
+	}
+	return c.Manager.EnsureDeallocated(id)
+}

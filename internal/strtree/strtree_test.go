@@ -1,0 +1,161 @@
+package strtree
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyRoundTrip(t *testing.T) {
+	for _, k := range [][]byte{nil, []byte(""), []byte("a"), []byte("hello world"), {0, 0xFF, 1}} {
+		enc := EncodeKey(k)
+		got := DecodeKey(enc)
+		if !bytes.Equal(got, k) {
+			t.Errorf("round trip %q = %q", k, got)
+		}
+	}
+}
+
+func TestRangeRoundTrip(t *testing.T) {
+	lo, hi := DecodeRange(EncodeRange([]byte("abc"), []byte("xyz")))
+	if string(lo) != "abc" || string(hi) != "xyz" {
+		t.Errorf("got [%q,%q]", lo, hi)
+	}
+	lo, hi = DecodeRange(EncodeRange(nil, nil))
+	if len(lo) != 0 || len(hi) != 0 {
+		t.Errorf("empty range: [%q,%q]", lo, hi)
+	}
+}
+
+func TestDecodePanicsOnGarbage(t *testing.T) {
+	for _, f := range []func(){
+		func() { DecodeKey([]byte{tagRange, 1}) },
+		func() { DecodeRange([]byte{tagKey}) },
+		func() { asRange([]byte{9, 9, 9}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	var ops Ops
+	r := EncodeRange([]byte("carrot"), []byte("melon"))
+	cases := []struct {
+		key  string
+		want bool
+	}{
+		{"carrot", true},
+		{"grape", true},
+		{"melon", true},
+		{"apple", false},
+		{"zebra", false},
+		{"melonade", false}, // sorts after "melon"
+	}
+	for _, c := range cases {
+		if got := ops.Consistent(r, EncodeKey([]byte(c.key))); got != c.want {
+			t.Errorf("Consistent(%q) = %v, want %v", c.key, got, c.want)
+		}
+	}
+	// Range query vs key predicate.
+	if !ops.Consistent(EncodeKey([]byte("fig")), EncodeRange([]byte("e"), []byte("g"))) {
+		t.Error("fig should match [e,g]")
+	}
+}
+
+func TestUnionCanonicalAndCovering(t *testing.T) {
+	var ops Ops
+	u := ops.Union(EncodeKey([]byte("pear")), EncodeKey([]byte("apple")))
+	lo, hi := DecodeRange(u)
+	if string(lo) != "apple" || string(hi) != "pear" {
+		t.Errorf("union = [%q,%q]", lo, hi)
+	}
+	if got := ops.Union(nil, EncodeKey([]byte("kiwi"))); !bytes.Equal(got, EncodeRange([]byte("kiwi"), []byte("kiwi"))) {
+		t.Error("union(nil, key) not canonical")
+	}
+	big := EncodeRange([]byte("a"), []byte("z"))
+	if !bytes.Equal(ops.Union(big, EncodeKey([]byte("m"))), big) {
+		t.Error("union with contained key changed predicate")
+	}
+}
+
+func TestQuickUnionCovers(t *testing.T) {
+	var ops Ops
+	f := func(a, b []byte) bool {
+		u := ops.Union(EncodeKey(a), EncodeKey(b))
+		return ops.Consistent(u, EncodeKey(a)) && ops.Consistent(u, EncodeKey(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPenaltyOrdering(t *testing.T) {
+	var ops Ops
+	bp := EncodeRange([]byte("h"), []byte("m"))
+	if p := ops.Penalty(bp, EncodeKey([]byte("j"))); p != 0 {
+		t.Errorf("inside penalty = %v", p)
+	}
+	near := ops.Penalty(bp, EncodeKey([]byte("n")))
+	far := ops.Penalty(bp, EncodeKey([]byte("z")))
+	if near <= 0 || far <= near {
+		t.Errorf("penalties not ordered: near=%v far=%v", near, far)
+	}
+}
+
+func TestPickSplitOrders(t *testing.T) {
+	var ops Ops
+	words := []string{"melon", "apple", "kiwi", "banana", "pear", "fig"}
+	preds := make([][]byte, len(words))
+	for i, w := range words {
+		preds[i] = EncodeKey([]byte(w))
+	}
+	stay := ops.PickSplit(preds)
+	if len(stay) != 3 {
+		t.Fatalf("stay = %d", len(stay))
+	}
+	staySet := map[string]bool{}
+	for _, i := range stay {
+		staySet[words[i]] = true
+	}
+	// Lower half lexicographically: apple, banana, fig.
+	for _, w := range []string{"apple", "banana", "fig"} {
+		if !staySet[w] {
+			t.Errorf("%q should stay, got %v", w, staySet)
+		}
+	}
+}
+
+func TestPrefixQuery(t *testing.T) {
+	var ops Ops
+	q := Prefix([]byte("app"))
+	for _, c := range []struct {
+		key  string
+		want bool
+	}{
+		{"app", true},
+		{"apple", true},
+		{"application", true},
+		{"aps", false},
+		{"ap", false},
+		{"banana", false},
+	} {
+		if got := ops.Consistent(EncodeKey([]byte(c.key)), q); got != c.want {
+			t.Errorf("prefix(app) vs %q = %v, want %v", c.key, got, c.want)
+		}
+	}
+}
+
+func TestKeyQuery(t *testing.T) {
+	q := Ops{}.KeyQuery(EncodeKey([]byte("solo")))
+	lo, hi := DecodeRange(q)
+	if string(lo) != "solo" || string(hi) != "solo" {
+		t.Errorf("KeyQuery = [%q,%q]", lo, hi)
+	}
+}

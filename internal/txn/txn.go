@@ -1,0 +1,479 @@
+// Package txn implements the transaction manager: transaction lifecycle
+// (begin, commit, abort), the per-transaction log backchain, rollback by
+// walking that chain and dispatching undo actions through a registry,
+// savepoints with partial rollback (§10.2 of the paper), and nested top
+// actions (the individually committed atomic units of work that carry the
+// tree's structure modifications, §9.1).
+//
+// The manager owns no tree or heap semantics. Subsystems register UndoFuncs
+// for their record types; an UndoFunc performs the logical or physical undo
+// and writes the compensation log record (CLR) through the transaction so
+// that rollback is itself recoverable.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lock"
+	"repro/internal/page"
+	"repro/internal/predicate"
+	"repro/internal/wal"
+)
+
+// State is a transaction's lifecycle state.
+type State int
+
+// Transaction states.
+const (
+	Active State = iota
+	Committed
+	Aborted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	default:
+		return "aborted"
+	}
+}
+
+// Errors returned by transaction operations.
+var (
+	ErrNotActive    = errors.New("txn: transaction not active")
+	ErrNoSavepoint  = errors.New("txn: no such savepoint")
+	ErrNoUndoer     = errors.New("txn: no undo handler registered for record type")
+	ErrNestedAction = errors.New("txn: nested top action already open")
+)
+
+// UndoFunc undoes the effects of one log record during rollback. It must
+// write a CLR (via tx.LogCLR) describing the compensation so that a crash
+// during rollback does not repeat the undo.
+type UndoFunc func(r *wal.Record, tx *Txn) error
+
+// Savepoint marks a rollback target within a transaction (§10.2).
+type Savepoint struct {
+	Name string
+	// LSN is the transaction's last log record at establishment; partial
+	// rollback undoes records after it.
+	LSN page.LSN
+}
+
+// Manager creates and tracks transactions.
+type Manager struct {
+	log   *wal.Log
+	locks *lock.Manager
+	preds *predicate.Manager
+
+	mu      sync.Mutex
+	active  map[page.TxnID]*Txn
+	nextID  atomic.Uint64
+	undoers map[wal.RecType]UndoFunc
+
+	commits atomic.Int64
+	aborts  atomic.Int64
+}
+
+// NewManager creates a transaction manager over the given log, lock manager
+// and predicate manager.
+func NewManager(log *wal.Log, locks *lock.Manager, preds *predicate.Manager) *Manager {
+	return &Manager{
+		log:     log,
+		locks:   locks,
+		preds:   preds,
+		active:  make(map[page.TxnID]*Txn),
+		undoers: make(map[wal.RecType]UndoFunc),
+	}
+}
+
+// RegisterUndo installs the undo handler for a record type. Subsystems call
+// this once at initialization.
+func (m *Manager) RegisterUndo(t wal.RecType, f UndoFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.undoers[t] = f
+}
+
+// Undoer returns the registered undo handler for a base record type.
+func (m *Manager) Undoer(t wal.RecType) (UndoFunc, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.undoers[t.Base()]
+	return f, ok
+}
+
+// Log exposes the underlying log (recovery and the NSN counter read it).
+func (m *Manager) Log() *wal.Log { return m.log }
+
+// Locks exposes the lock manager.
+func (m *Manager) Locks() *lock.Manager { return m.locks }
+
+// Predicates exposes the predicate manager.
+func (m *Manager) Predicates() *predicate.Manager { return m.preds }
+
+// Begin starts a new transaction: assigns an ID, writes the Begin record,
+// and takes the X lock on the transaction's own ID that others use to block
+// "on the transaction" (§10.3).
+func (m *Manager) Begin() (*Txn, error) {
+	id := page.TxnID(m.nextID.Add(1))
+	return m.beginWithID(id)
+}
+
+// beginWithID is shared with recovery, which must re-instantiate loser
+// transactions under their original IDs.
+func (m *Manager) beginWithID(id page.TxnID) (*Txn, error) {
+	tx := &Txn{id: id, mgr: m, state: Active}
+	if err := m.locks.Lock(id, lock.ForTxn(id), lock.X); err != nil {
+		return nil, fmt.Errorf("txn: self lock: %w", err)
+	}
+	tx.lastLSN = m.log.Append(&wal.Record{Type: wal.RecBegin, Txn: id})
+	tx.firstLSN = tx.lastLSN
+	m.mu.Lock()
+	m.active[id] = tx
+	m.mu.Unlock()
+	return tx, nil
+}
+
+// AdoptLoser recreates a transaction handle for a loser transaction found
+// during restart analysis; used only by the recovery package.
+func (m *Manager) AdoptLoser(id page.TxnID, lastLSN page.LSN) (*Txn, error) {
+	if cur := m.nextID.Load(); cur < uint64(id) {
+		m.nextID.Store(uint64(id))
+	}
+	tx := &Txn{id: id, mgr: m, state: Active, lastLSN: lastLSN}
+	if err := m.locks.Lock(id, lock.ForTxn(id), lock.X); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.active[id] = tx
+	m.mu.Unlock()
+	return tx, nil
+}
+
+// IsActive reports whether the transaction with the given id is still
+// live. Garbage collection uses it to decide whether a logically deleted
+// entry's deleter has terminated: a marked entry whose deleter is inactive
+// must have committed, because an aborted deleter unmarks its entries
+// during rollback (§7.1).
+func (m *Manager) IsActive(id page.TxnID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.active[id]
+	return ok
+}
+
+// MinActiveFirstLSN returns the smallest first-LSN among live transactions,
+// or 0 when none are active. The log may not be truncated at or past this
+// point: rollback needs every loser's backchain down to its Begin record.
+func (m *Manager) MinActiveFirstLSN() page.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var min page.LSN
+	for _, tx := range m.active {
+		tx.mu.Lock()
+		f := tx.firstLSN
+		tx.mu.Unlock()
+		if f != 0 && (min == 0 || f < min) {
+			min = f
+		}
+	}
+	return min
+}
+
+// ActiveTxns returns a snapshot of the live transactions (for checkpoints).
+func (m *Manager) ActiveTxns() []*Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Txn, 0, len(m.active))
+	for _, tx := range m.active {
+		out = append(out, tx)
+	}
+	return out
+}
+
+// Checkpoint writes a checkpoint record carrying the active transaction
+// table and the provided dirty page table, then flushes the log.
+func (m *Manager) Checkpoint(dpt map[page.PageID]page.LSN) (page.LSN, error) {
+	r := &wal.Record{Type: wal.RecCheckpoint}
+	for _, tx := range m.ActiveTxns() {
+		r.ATT = append(r.ATT, wal.TxnState{ID: tx.ID(), LastLSN: tx.LastLSN()})
+	}
+	for id, rec := range dpt {
+		r.DPT = append(r.DPT, wal.DirtyPage{ID: id, RecLSN: rec})
+	}
+	lsn := m.log.Append(r)
+	return lsn, m.log.FlushTo(lsn)
+}
+
+// Stats returns the numbers of committed and aborted transactions.
+func (m *Manager) Stats() (commits, aborts int64) {
+	return m.commits.Load(), m.aborts.Load()
+}
+
+func (m *Manager) finish(tx *Txn) {
+	m.mu.Lock()
+	delete(m.active, tx.id)
+	m.mu.Unlock()
+}
+
+// Txn is a single transaction. Methods are safe for use by the single
+// goroutine driving the transaction; a transaction is not meant to be
+// shared across goroutines (sessions are, by the outer layer).
+type Txn struct {
+	id  page.TxnID
+	mgr *Manager
+
+	mu         sync.Mutex
+	state      State
+	lastLSN    page.LSN
+	firstLSN   page.LSN
+	savepoints []Savepoint
+	ntaStart   page.LSN // lastLSN when the open NTA began, 0 if none
+	ntaOpen    bool
+
+	// vals lets subsystems (the tree layer) stash per-transaction state,
+	// such as the set of signaling locks pinned by savepoints.
+	vals map[any]any
+}
+
+// ID returns the transaction id.
+func (tx *Txn) ID() page.TxnID { return tx.id }
+
+// State returns the lifecycle state.
+func (tx *Txn) State() State {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.state
+}
+
+// LastLSN returns the transaction's most recent log record.
+func (tx *Txn) LastLSN() page.LSN {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.lastLSN
+}
+
+// Manager returns the owning transaction manager.
+func (tx *Txn) Manager() *Manager { return tx.mgr }
+
+// SetValue stashes subsystem state on the transaction.
+func (tx *Txn) SetValue(key, val any) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.vals == nil {
+		tx.vals = make(map[any]any)
+	}
+	tx.vals[key] = val
+}
+
+// Value retrieves state stashed with SetValue.
+func (tx *Txn) Value(key any) any {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.vals[key]
+}
+
+// Log appends r to the log as part of this transaction's backchain and
+// returns its LSN.
+func (tx *Txn) Log(r *wal.Record) page.LSN {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	r.Txn = tx.id
+	r.PrevLSN = tx.lastLSN
+	lsn := tx.mgr.log.Append(r)
+	tx.lastLSN = lsn
+	return lsn
+}
+
+// LogCLR appends a compensation record during undo. UndoNext must point at
+// the PrevLSN of the record being undone so that a crash mid-rollback
+// resumes exactly where it left off.
+func (tx *Txn) LogCLR(r *wal.Record, undoNext page.LSN) page.LSN {
+	r.Type |= wal.ClrFlag
+	r.UndoNext = undoNext
+	return tx.Log(r)
+}
+
+// Lock acquires a lock on behalf of the transaction (two-phase: held to
+// end of transaction unless explicitly released by the tree protocol, as
+// signaling locks are).
+func (tx *Txn) Lock(n lock.Name, m lock.Mode) error {
+	if tx.State() != Active {
+		return ErrNotActive
+	}
+	return tx.mgr.locks.Lock(tx.id, n, m)
+}
+
+// BeginNTA opens a nested top action: a sequence of log records that will
+// be made permanent regardless of the transaction's fate. Only one may be
+// open at a time per transaction; the tree's structure modifications are
+// strictly nested within operations so this suffices.
+func (tx *Txn) BeginNTA() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.state != Active {
+		return ErrNotActive
+	}
+	if tx.ntaOpen {
+		return ErrNestedAction
+	}
+	tx.ntaOpen = true
+	tx.ntaStart = tx.lastLSN
+	return nil
+}
+
+// EndNTA closes the open nested top action by writing the dummy CLR whose
+// UndoNext jumps over the action's records (§9.1): once written, rollback
+// and restart undo both skip the structure modification.
+func (tx *Txn) EndNTA() page.LSN {
+	tx.mu.Lock()
+	start := tx.ntaStart
+	tx.ntaOpen = false
+	tx.ntaStart = 0
+	tx.mu.Unlock()
+	r := &wal.Record{Type: wal.RecDummyCLR}
+	return tx.LogCLR(r, start)
+}
+
+// AbandonNTA closes the NTA bookkeeping without writing the dummy CLR,
+// used when the action failed before writing any records.
+func (tx *Txn) AbandonNTA() {
+	tx.mu.Lock()
+	tx.ntaOpen = false
+	tx.ntaStart = 0
+	tx.mu.Unlock()
+}
+
+// Savepoint establishes a named savepoint and returns it.
+func (tx *Txn) Savepoint(name string) (Savepoint, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.state != Active {
+		return Savepoint{}, ErrNotActive
+	}
+	sp := Savepoint{Name: name, LSN: tx.lastLSN}
+	tx.savepoints = append(tx.savepoints, sp)
+	return sp, nil
+}
+
+// Savepoints returns the transaction's savepoints, oldest first.
+func (tx *Txn) Savepoints() []Savepoint {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return append([]Savepoint(nil), tx.savepoints...)
+}
+
+// RollbackTo undoes all of the transaction's updates after the named
+// savepoint. The transaction remains active; savepoints established after
+// the target are discarded.
+func (tx *Txn) RollbackTo(name string) error {
+	tx.mu.Lock()
+	if tx.state != Active {
+		tx.mu.Unlock()
+		return ErrNotActive
+	}
+	idx := -1
+	for i := len(tx.savepoints) - 1; i >= 0; i-- {
+		if tx.savepoints[i].Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		tx.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoSavepoint, name)
+	}
+	target := tx.savepoints[idx].LSN
+	tx.savepoints = tx.savepoints[:idx+1]
+	tx.mu.Unlock()
+	return tx.undoTo(target)
+}
+
+// undoTo walks the backchain undoing records until lastLSN's chain position
+// reaches stop (exclusive).
+func (tx *Txn) undoTo(stop page.LSN) error {
+	cur := tx.LastLSN()
+	for cur > stop {
+		r, err := tx.mgr.log.Get(cur)
+		if err != nil {
+			return fmt.Errorf("txn %d undo: %w", tx.id, err)
+		}
+		if r.Type.IsCLR() || r.Type == wal.RecDummyCLR {
+			cur = r.UndoNext
+			continue
+		}
+		switch r.Type {
+		case wal.RecBegin, wal.RecAbort, wal.RecCheckpoint:
+			cur = r.PrevLSN
+			continue
+		}
+		undo, ok := tx.mgr.Undoer(r.Type)
+		if !ok {
+			return fmt.Errorf("%w: %v (lsn %d)", ErrNoUndoer, r.Type, r.LSN)
+		}
+		if err := undo(r, tx); err != nil {
+			return fmt.Errorf("txn %d undo %v at %d: %w", tx.id, r.Type, r.LSN, err)
+		}
+		cur = r.PrevLSN
+	}
+	return nil
+}
+
+// Commit ends the transaction successfully: forces the Commit record to
+// disk (durability), releases predicates and locks, and writes End.
+func (tx *Txn) Commit() error {
+	tx.mu.Lock()
+	if tx.state != Active {
+		tx.mu.Unlock()
+		return ErrNotActive
+	}
+	tx.state = Committed
+	tx.mu.Unlock()
+
+	lsn := tx.Log(&wal.Record{Type: wal.RecCommit})
+	if err := tx.mgr.log.FlushTo(lsn); err != nil {
+		return fmt.Errorf("txn %d commit force: %w", tx.id, err)
+	}
+	tx.release()
+	tx.Log(&wal.Record{Type: wal.RecEnd})
+	tx.mgr.finish(tx)
+	tx.mgr.commits.Add(1)
+	return nil
+}
+
+// Abort rolls the transaction back completely and releases its resources.
+func (tx *Txn) Abort() error {
+	tx.mu.Lock()
+	if tx.state != Active {
+		tx.mu.Unlock()
+		return ErrNotActive
+	}
+	tx.mu.Unlock()
+
+	tx.Log(&wal.Record{Type: wal.RecAbort})
+	if err := tx.undoTo(0); err != nil {
+		return err
+	}
+	tx.mu.Lock()
+	tx.state = Aborted
+	tx.mu.Unlock()
+	tx.release()
+	tx.Log(&wal.Record{Type: wal.RecEnd})
+	tx.mgr.finish(tx)
+	tx.mgr.aborts.Add(1)
+	return nil
+}
+
+// release drops predicates and all locks (including the self lock, which
+// unblocks anyone waiting on this transaction's predicates).
+func (tx *Txn) release() {
+	tx.mgr.preds.ReleaseTxn(tx.id)
+	tx.mgr.locks.ReleaseAll(tx.id)
+}

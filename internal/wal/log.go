@@ -1,0 +1,390 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/page"
+)
+
+// ErrNoSuchLSN is returned by Get for an LSN outside the log.
+var ErrNoSuchLSN = errors.New("wal: no such LSN")
+
+// Log is the log manager. It assigns LSNs (1, 2, 3, ...), keeps every
+// record in memory for fast access, and optionally persists records to a
+// file with CRC framing. FlushTo provides the WAL rule for the buffer pool.
+//
+// The last assigned LSN is the tree-global counter of the GiST concurrency
+// protocol: a node split's NSN is the LSN of its Split record, so the
+// counter is incremented by the split implicitly and is recoverable without
+// extra log records (§10.1).
+type Log struct {
+	mu       sync.Mutex
+	base     page.LSN  // LSNs 1..base have been discarded (head truncation)
+	records  []*Record // records[i] has LSN base+i+1
+	flushed  page.LSN  // highest LSN durable in the file
+	file     *os.File  // nil for a purely in-memory log
+	pending  []byte    // encoded-but-unflushed suffix
+	syncs    int64     // number of physical flushes (group commit metric)
+	appends  int64
+	masterCk page.LSN // LSN of the most recent checkpoint record
+
+	// Group commit: a flush in progress covers all appends before it;
+	// concurrent committers wait for the in-flight flush instead of
+	// issuing their own sync.
+	flushing  bool
+	flushCond *sync.Cond
+}
+
+// NewMemLog returns an in-memory log (no durability; crash simulation uses
+// SurvivingLog to model what a file would have retained).
+func NewMemLog() *Log {
+	l := &Log{}
+	l.flushCond = sync.NewCond(&l.mu)
+	return l
+}
+
+// fileHeader is the 8-byte magic prefix of a log file.
+var fileHeader = []byte("GiSTWAL1")
+
+// OpenFileLog opens or creates a durable log at path, scanning any existing
+// records to rebuild the in-memory index. A trailing torn record (bad CRC
+// or truncation) ends the scan; everything before it is kept.
+func OpenFileLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{file: f}
+	l.flushCond = sync.NewCond(&l.mu)
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(fileHeader); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return l, nil
+	}
+	if err := l.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// scan reads all valid records from the file into memory.
+func (l *Log) scan() error {
+	if _, err := l.file.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	hdr := make([]byte, len(fileHeader))
+	if _, err := io.ReadFull(l.file, hdr); err != nil {
+		return fmt.Errorf("wal: header: %w", err)
+	}
+	if string(hdr) != string(fileHeader) {
+		return fmt.Errorf("wal: bad log file header")
+	}
+	offset := int64(len(fileHeader))
+	var frame [8]byte
+	for {
+		if _, err := io.ReadFull(l.file, frame[:]); err != nil {
+			break // clean EOF or torn tail
+		}
+		n := binary.BigEndian.Uint32(frame[:4])
+		crc := binary.BigEndian.Uint32(frame[4:])
+		if n > 1<<26 {
+			break
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(l.file, body); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			break
+		}
+		r, err := DecodeRecord(body)
+		if err != nil {
+			break
+		}
+		if len(l.records) == 0 {
+			// The file may start past LSN 1 after head truncation.
+			l.base = r.LSN - 1
+		} else if r.LSN != l.base+page.LSN(len(l.records)+1) {
+			return fmt.Errorf("wal: LSN gap: record %d at position %d", r.LSN, len(l.records)+1)
+		}
+		l.records = append(l.records, r)
+		if r.Type == RecCheckpoint {
+			l.masterCk = r.LSN
+		}
+		offset += 8 + int64(n)
+	}
+	// Truncate any torn tail so future appends start clean.
+	if err := l.file.Truncate(offset); err != nil {
+		return err
+	}
+	if _, err := l.file.Seek(offset, io.SeekStart); err != nil {
+		return err
+	}
+	l.flushed = l.base + page.LSN(len(l.records))
+	return nil
+}
+
+// Append assigns the next LSN to r and adds it to the log. The record
+// becomes durable only after a FlushTo covering its LSN.
+func (l *Log) Append(r *Record) page.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.LSN = l.base + page.LSN(len(l.records)+1)
+	l.records = append(l.records, r)
+	l.appends++
+	if r.Type == RecCheckpoint {
+		l.masterCk = r.LSN
+	}
+	if l.file != nil {
+		body := r.Encode()
+		var frame [8]byte
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+		binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+		l.pending = append(l.pending, frame[:]...)
+		l.pending = append(l.pending, body...)
+	}
+	return r.LSN
+}
+
+// LastLSN returns the highest assigned LSN — the tree-global counter value
+// read by traversing operations.
+func (l *Log) LastLSN() page.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + page.LSN(len(l.records))
+}
+
+// FlushedLSN returns the highest durable LSN.
+func (l *Log) FlushedLSN() page.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// FlushTo makes the log durable up to at least lsn. It implements
+// buffer.LogFlusher. For an in-memory log it only advances the flushed
+// watermark (used by crash simulation to decide which records survive).
+func (l *Log) FlushTo(lsn page.LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if max := l.base + page.LSN(len(l.records)); lsn > max {
+		lsn = max
+	}
+	for {
+		if lsn <= l.flushed {
+			return nil
+		}
+		if !l.flushing {
+			break
+		}
+		// Group commit: an in-flight flush will cover every record
+		// appended before it started; wait and re-check rather than
+		// queueing another sync.
+		l.flushCond.Wait()
+	}
+	if l.file != nil {
+		// Group flush: everything pending goes out in one write.
+		l.flushing = true
+		buf := l.pending
+		l.pending = nil
+		covers := l.base + page.LSN(len(l.records))
+		l.mu.Unlock()
+		_, werr := l.file.Write(buf)
+		if werr == nil {
+			werr = l.file.Sync()
+		}
+		l.mu.Lock()
+		l.flushing = false
+		l.flushCond.Broadcast()
+		if werr != nil {
+			return fmt.Errorf("wal: flush: %w", werr)
+		}
+		if covers > l.flushed {
+			l.flushed = covers
+		}
+	} else {
+		l.flushed = lsn
+	}
+	l.syncs++
+	return nil
+}
+
+// FlushAll forces the entire log durable.
+func (l *Log) FlushAll() error { return l.FlushTo(page.LSN(1 << 62)) }
+
+// Get returns the record with the given LSN.
+func (l *Log) Get(lsn page.LSN) (*Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn <= l.base || lsn > l.base+page.LSN(len(l.records)) {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchLSN, lsn)
+	}
+	return l.records[lsn-l.base-1], nil
+}
+
+// Scan calls fn for every record with LSN >= from, in LSN order, stopping
+// early if fn returns false.
+func (l *Log) Scan(from page.LSN, fn func(*Record) bool) {
+	if from < 1 {
+		from = 1
+	}
+	for {
+		l.mu.Lock()
+		if from <= l.base {
+			from = l.base + 1
+		}
+		if from > l.base+page.LSN(len(l.records)) {
+			l.mu.Unlock()
+			return
+		}
+		r := l.records[from-l.base-1]
+		l.mu.Unlock()
+		if !fn(r) {
+			return
+		}
+		from++
+	}
+}
+
+// MasterCheckpoint returns the LSN of the latest checkpoint record, or 0.
+func (l *Log) MasterCheckpoint() page.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.masterCk
+}
+
+// Stats returns the number of appends and physical flushes.
+func (l *Log) Stats() (appends, syncs int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.syncs
+}
+
+// TruncatedCopy returns a new in-memory log holding only records with
+// LSN <= lsn, regardless of flush state. The recovery experiments use it to
+// place a crash point after any chosen record.
+func (l *Log) TruncatedCopy(lsn page.LSN) *Log {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if max := l.base + page.LSN(len(l.records)); lsn > max {
+		lsn = max
+	}
+	if lsn < l.base {
+		lsn = l.base
+	}
+	s := NewMemLog()
+	s.base = l.base
+	s.records = append(s.records, l.records[:lsn-l.base]...)
+	s.flushed = lsn
+	for _, r := range s.records {
+		if r.Type == RecCheckpoint {
+			s.masterCk = r.LSN
+		}
+	}
+	return s
+}
+
+// DiscardBefore drops all records with LSN < lsn — head truncation after a
+// checkpoint has made everything before the redo point unnecessary for
+// restart. Only durable, sub-checkpoint prefixes may be discarded; the
+// caller (recovery.Checkpoint) guarantees that. For a file-backed log the
+// surviving suffix is rewritten to the file.
+func (l *Log) DiscardBefore(lsn page.LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn <= l.base+1 {
+		return nil
+	}
+	if lsn > l.flushed+1 {
+		lsn = l.flushed + 1
+	}
+	n := int(lsn - 1 - l.base) // records to drop
+	if n <= 0 {
+		return nil
+	}
+	if n > len(l.records) {
+		n = len(l.records)
+	}
+	l.records = append([]*Record(nil), l.records[n:]...)
+	l.base += page.LSN(n)
+	if l.file != nil {
+		// Rewrite the file with the surviving suffix.
+		if err := l.file.Truncate(int64(len(fileHeader))); err != nil {
+			return err
+		}
+		if _, err := l.file.Seek(int64(len(fileHeader)), io.SeekStart); err != nil {
+			return err
+		}
+		var out []byte
+		for _, r := range l.records {
+			if r.LSN > l.flushed {
+				break
+			}
+			body := r.Encode()
+			var frame [8]byte
+			binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+			binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+			out = append(out, frame[:]...)
+			out = append(out, body...)
+		}
+		if _, err := l.file.Write(out); err != nil {
+			return err
+		}
+		if err := l.file.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Base returns the truncation point: LSNs at or below it are discarded.
+func (l *Log) Base() page.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// SurvivingLog models a crash of an in-memory log: it returns a new Log
+// holding only the records that had been flushed. For a file log, reopening
+// the file achieves the same.
+func (l *Log) SurvivingLog() *Log {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := NewMemLog()
+	s.base = l.base
+	s.records = append(s.records, l.records[:l.flushed-l.base]...)
+	s.flushed = l.flushed
+	for _, r := range s.records {
+		if r.Type == RecCheckpoint {
+			s.masterCk = r.LSN
+		}
+	}
+	return s
+}
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	if err := l.FlushAll(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file != nil {
+		return l.file.Close()
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package gistdb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	gistdb "repro"
+	"repro/internal/btree"
+)
+
+// TestSoakCrashRecoveryRounds is the torture test: rounds of concurrent
+// mixed workload (inserts, deletes, scans, savepoints) with periodic
+// checkpoints, each round ending in a crash and ARIES restart; after every
+// restart the surviving content must exactly match the model of committed
+// operations, and structural invariants must hold.
+func TestSoakCrashRecoveryRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	db, err := gistdb.Open(gistdb.Options{MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.CreateIndex("soak", btree.Ops{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var modelMu sync.Mutex
+	model := make(map[int64]gistdb.RID) // committed live keys
+
+	const rounds, workers, opsPerWorker = 5, 4, 80
+	nextKey := int64(0)
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w, round int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*100 + w)))
+				for i := 0; i < opsPerWorker; i++ {
+					switch op := rng.Intn(10); {
+					case op < 6: // committed insert
+						modelMu.Lock()
+						k := nextKey
+						nextKey++
+						modelMu.Unlock()
+						tx, err := db.Begin()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						rid, err := idx.Insert(tx, btree.EncodeKey(k), []byte(fmt.Sprintf("r%d", k)))
+						if err != nil {
+							t.Errorf("insert %d: %v", k, err)
+							tx.Abort()
+							return
+						}
+						if err := tx.Commit(); err != nil {
+							t.Error(err)
+							return
+						}
+						modelMu.Lock()
+						model[k] = rid
+						modelMu.Unlock()
+
+					case op < 8: // committed delete of a random live key
+						modelMu.Lock()
+						var victim int64 = -1
+						var rid gistdb.RID
+						for k, r := range model {
+							victim, rid = k, r
+							break
+						}
+						if victim >= 0 {
+							delete(model, victim) // claim it
+						}
+						modelMu.Unlock()
+						if victim < 0 {
+							continue
+						}
+						tx, err := db.Begin()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if err := idx.Delete(tx, btree.EncodeKey(victim), rid); err != nil {
+							tx.Abort()
+							modelMu.Lock()
+							model[victim] = rid
+							modelMu.Unlock()
+							continue
+						}
+						if err := tx.Commit(); err != nil {
+							t.Error(err)
+							return
+						}
+
+					case op < 9: // aborted insert (with a savepoint dance)
+						modelMu.Lock()
+						k := nextKey
+						nextKey++
+						modelMu.Unlock()
+						tx, err := db.Begin()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						idx.Insert(tx, btree.EncodeKey(k), []byte("loser"))
+						tx.Savepoint("sp")
+						idx.Insert(tx, btree.EncodeKey(k+1000000), []byte("deeper"))
+						tx.RollbackTo("sp")
+						tx.Abort()
+
+					default: // scan
+						tx, err := db.Begin()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						lo := rng.Int63n(1000)
+						if _, err := idx.Search(tx, btree.EncodeRange(lo, lo+50), gistdb.ReadCommitted); err != nil {
+							t.Errorf("scan: %v", err)
+						}
+						tx.Commit()
+					}
+				}
+			}(w, round)
+		}
+		wg.Wait()
+
+		// Occasionally checkpoint (truncates the log head), then GC.
+		if round%2 == 1 {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			gc, _ := db.Begin()
+			if err := idx.GC(gc); err != nil {
+				t.Fatal(err)
+			}
+			gc.Commit()
+		}
+
+		// An in-flight loser at the crash.
+		loser, _ := db.Begin()
+		idx.Insert(loser, btree.EncodeKey(9000000+int64(round)), []byte("in-flight"))
+		db.WAL().FlushAll()
+
+		// Crash and restart.
+		db2, err := db.SimulateCrash()
+		if err != nil {
+			t.Fatalf("round %d: recovery: %v", round, err)
+		}
+		db = db2
+		idx, err = db.OpenIndex("soak", btree.Ops{})
+		if err != nil {
+			t.Fatalf("round %d: reopen: %v", round, err)
+		}
+
+		// Verify: exactly the model's keys, structurally sound.
+		rep, err := idx.Check()
+		if err != nil {
+			t.Fatalf("round %d: invariants: %v", round, err)
+		}
+		modelMu.Lock()
+		want := len(model)
+		modelMu.Unlock()
+		if rep.Entries != want {
+			t.Fatalf("round %d: %d entries, model %d", round, rep.Entries, want)
+		}
+		tx, _ := db.Begin()
+		hits, err := idx.Search(tx, btree.EncodeRange(0, 1<<40), gistdb.ReadCommitted)
+		tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		modelMu.Lock()
+		for _, h := range hits {
+			k := btree.DecodeKey(h.Key)
+			if rid, ok := model[k]; !ok {
+				t.Fatalf("round %d: unexpected key %d", round, k)
+			} else if rid != h.RID {
+				t.Fatalf("round %d: key %d rid %v, model %v", round, k, h.RID, rid)
+			}
+		}
+		modelMu.Unlock()
+		t.Logf("round %d: %d live keys verified after crash+restart", round, want)
+	}
+	db.Close()
+}

@@ -1,0 +1,97 @@
+package gistdb
+
+import (
+	"repro/internal/gist"
+	"repro/internal/lock"
+	"repro/internal/txn"
+)
+
+// Tx is a transaction. A transaction is driven by one goroutine at a time;
+// concurrent sessions each use their own transaction.
+type Tx struct {
+	db    *DB
+	inner *txn.Txn
+
+	// Open cursors and their positions recorded at savepoints (§10.2:
+	// rollback to a savepoint restores the positions of open cursors).
+	cursors []*Cursor
+	marks   map[string][]cursorMark
+}
+
+type cursorMark struct {
+	c *Cursor
+	m gist.Mark
+}
+
+// ID returns the transaction identifier.
+func (tx *Tx) ID() uint64 { return uint64(tx.inner.ID()) }
+
+// Commit makes the transaction's effects durable and visible, releasing
+// its locks and predicates.
+func (tx *Tx) Commit() error {
+	if err := tx.inner.Commit(); err != nil {
+		return err
+	}
+	tx.finishTrees()
+	return nil
+}
+
+// Abort rolls every effect of the transaction back (logical undo through
+// the write-ahead log) and releases its locks and predicates.
+func (tx *Tx) Abort() error {
+	if err := tx.inner.Abort(); err != nil {
+		return err
+	}
+	tx.finishTrees()
+	return nil
+}
+
+func (tx *Tx) finishTrees() {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	for _, ix := range tx.db.indexes {
+		ix.tree.TxnFinished(tx.inner.ID())
+	}
+}
+
+// Savepoint establishes a named rollback target within the transaction and
+// records the positions of all open cursors (§10.2 of the paper).
+func (tx *Tx) Savepoint(name string) error {
+	if _, err := tx.inner.Savepoint(name); err != nil {
+		return err
+	}
+	if tx.marks == nil {
+		tx.marks = make(map[string][]cursorMark)
+	}
+	var ms []cursorMark
+	for _, c := range tx.cursors {
+		if !c.closed {
+			ms = append(ms, cursorMark{c: c, m: c.inner.Mark()})
+		}
+	}
+	tx.marks[name] = ms
+	return nil
+}
+
+// RollbackTo undoes all updates made after the named savepoint and restores
+// the positions open cursors had when it was established; the transaction
+// stays active.
+func (tx *Tx) RollbackTo(name string) error {
+	if err := tx.inner.RollbackTo(name); err != nil {
+		return err
+	}
+	for _, cm := range tx.marks[name] {
+		if !cm.c.closed {
+			cm.c.inner.Reset(cm.m)
+		}
+	}
+	return nil
+}
+
+// LockRecord explicitly X-locks a data record ahead of an update — phase 1
+// of the paper's insertion protocol. Index.Insert and Index.Delete do this
+// implicitly; exposing it lets applications fix lock order across several
+// records to reduce deadlocks.
+func (tx *Tx) LockRecord(rid RID) error {
+	return tx.inner.Lock(lock.ForRID(rid), lock.X)
+}
