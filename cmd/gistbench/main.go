@@ -27,12 +27,13 @@ import (
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/predicate"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, all")
+	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, all")
 	threadsFlag = flag.String("threads", "1,2,4,8,16", "goroutine counts for throughput experiments")
 	keysFlag    = flag.Int("keys", 20000, "working-set size for throughput experiments")
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per throughput cell")
@@ -56,6 +57,60 @@ func main() {
 	run("nsn", expNSN)
 	run("gc", expGC)
 	run("isolation", expIsolation)
+	run("metrics", expMetrics)
+}
+
+// expMetrics runs a small mixed workload and dumps the unified stats
+// registry, cross-checking the legacy typed Stats view against the named
+// counters so any divergence between the two read paths is visible.
+func expMetrics() {
+	db, err := gistdb.Open(gistdb.Options{MaxEntries: 8})
+	must(err)
+	defer db.Close()
+	idx, err := db.CreateIndex("metrics", btree.Ops{})
+	must(err)
+
+	for k := int64(1); k <= 200; k++ {
+		tx, _ := db.Begin()
+		_, err := idx.Insert(tx, btree.EncodeKey(k), []byte("v"))
+		must(err)
+		must(tx.Commit())
+	}
+	tx, _ := db.Begin()
+	_, err = idx.Search(tx, btree.EncodeRange(1, 200), gistdb.RepeatableRead)
+	must(err)
+	must(tx.Commit())
+	tx, _ = db.Begin()
+	_, err = idx.Insert(tx, btree.EncodeKey(999), []byte("doomed"))
+	must(err)
+	must(tx.Abort())
+
+	m := db.Metrics()
+	fmt.Println("unified metrics snapshot (name = value):")
+	for _, name := range stats.Names(m) {
+		fmt.Printf("  %-28s %d\n", name, m[name])
+	}
+
+	s := db.Stats()
+	check := func(name string, legacy int64) {
+		status := "ok"
+		if m[name] != legacy {
+			status = fmt.Sprintf("MISMATCH (registry %d)", m[name])
+		}
+		fmt.Printf("  legacy %-22s %-8d %s\n", name, legacy, status)
+	}
+	fmt.Println("legacy Stats() cross-check:")
+	check("txn.commits", s.Commits)
+	check("txn.aborts", s.Aborts)
+	check("lock.acquisitions", s.LockAcquisitions)
+	check("lock.waits", s.LockWaits)
+	check("lock.deadlocks", s.Deadlocks)
+	check("predicate.checks", s.PredicateChecks)
+	check("predicate.preds_examined", s.PredicatesExamined)
+	check("buffer.hits", s.BufferHits)
+	check("buffer.misses", s.BufferMisses)
+	check("wal.appends", s.LogRecords)
+	check("wal.syncs", s.LogFlushes)
 }
 
 func must(err error) {

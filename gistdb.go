@@ -45,6 +45,7 @@ import (
 	"repro/internal/page"
 	"repro/internal/predicate"
 	"repro/internal/recovery"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -415,6 +416,21 @@ func (db *DB) Stats() Stats {
 	s.ActiveTxns = len(db.tm.ActiveTxns())
 	s.LivePredicate, _ = db.preds.Counts()
 	return s
+}
+
+// Metrics merges every subsystem's counter registry into one uniform map
+// keyed by dotted metric names ("buffer.hits", "lock.waits", "disk.reads").
+// It supersedes the per-manager Stats methods for monitoring; Stats remains
+// as a typed convenience view over the same counters.
+func (db *DB) Metrics() map[string]int64 {
+	return stats.Merged(
+		db.tm.Metrics(),
+		db.locks.Metrics(),
+		db.preds.Metrics(),
+		db.pool.Metrics(),
+		db.log.Metrics(),
+		storage.MetricsOf(db.disk),
+	)
 }
 
 // Close flushes everything and closes the database cleanly.

@@ -1,0 +1,44 @@
+package buffer
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// BenchmarkPoolFetchParallel measures the all-hits fetch/unpin path across
+// goroutines: the pool is larger than the working set, so every Fetch is a
+// table hit and the benchmark isolates the pool's synchronization cost
+// (run with -cpu 1,4,16 to see scaling).
+func BenchmarkPoolFetchParallel(b *testing.B) {
+	d := storage.NewMemDisk()
+	p := New(d, 1024, nil)
+	const pages = 512
+	ids := make([]page.PageID, pages)
+	for i := range ids {
+		f, err := p.NewPage(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = f.ID()
+		p.Unpin(f, false, 0)
+	}
+	var gid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine walks the id space from its own offset so that
+		// concurrent fetches mostly touch distinct pages.
+		i := int(gid.Add(1)) * 37
+		for pb.Next() {
+			f, err := p.Fetch(ids[i%pages])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			p.Unpin(f, false, 0)
+			i++
+		}
+	})
+}

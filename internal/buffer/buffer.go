@@ -8,16 +8,24 @@
 // Fetch (which may perform I/O and must be called while holding no latches)
 // from Frame.Latch (which is cheap and never performs I/O). The pool keeps
 // counters that the experiments use to verify the property.
+//
+// The page table is partitioned into shards hashed by PageID, each with its
+// own mutex, condition variable, frame set and clock hand, so concurrent
+// operations on different pages do not serialize on a pool-wide lock. A
+// shard whose frames are all pinned steals an evictable frame from a
+// sibling shard (migrating it permanently), so the pool's full capacity
+// remains reachable from every shard; ErrPoolExhausted means every frame of
+// every shard is pinned.
 package buffer
 
 import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/latch"
 	"repro/internal/page"
+	"repro/internal/stats"
 	"repro/internal/storage"
 )
 
@@ -34,9 +42,13 @@ const (
 	stateWriting
 )
 
+// maxShards bounds the page-table partitioning; small pools get fewer
+// shards (at least four frames each) so eviction behavior stays sane.
+const maxShards = 16
+
 // Frame is a buffer-pool frame holding one page. The embedded latch is the
 // node latch the tree operations acquire; it protects the page content, not
-// the frame bookkeeping (which the pool mutex protects).
+// the frame bookkeeping (which the owning shard's mutex protects).
 type Frame struct {
 	Latch latch.Latch
 	Page  page.Page
@@ -47,6 +59,11 @@ type Frame struct {
 	dirty  bool
 	recLSN page.LSN // LSN of the first update since the page was last clean
 	refbit bool     // clock reference bit
+
+	// home is the shard whose mutex protects this frame's bookkeeping. It
+	// changes only when an unpinned frame is stolen by another shard, so
+	// it is stable for as long as the caller holds a pin.
+	home *shard
 }
 
 // ID returns the id of the page currently held by the frame.
@@ -64,20 +81,39 @@ type nopFlusher struct{}
 
 func (nopFlusher) FlushTo(page.LSN) error { return nil }
 
+// shard is one partition of the page table with its own frames and clock.
+type shard struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	table     map[page.PageID]*Frame
+	frames    []*Frame
+	hand      int
+	contended *stats.Counter
+}
+
+// lock acquires the shard mutex, counting acquisitions that had to block.
+func (s *shard) lock() {
+	if s.mu.TryLock() {
+		return
+	}
+	s.contended.Add(1)
+	s.mu.Lock()
+}
+
 // Pool is a buffer pool over a storage.Manager.
 type Pool struct {
 	disk storage.Manager
 	wal  LogFlusher
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	table  map[page.PageID]*Frame
-	frames []*Frame
-	hand   int
+	shards   []*shard
+	capacity int
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	evicts atomic.Int64
+	reg       *stats.Registry
+	hits      *stats.Counter
+	misses    *stats.Counter
+	evicts    *stats.Counter
+	steals    *stats.Counter // frames migrated between shards
+	contended *stats.Counter // shard mutex acquisitions that blocked
 }
 
 // New creates a pool with the given number of frames over disk. If wal is
@@ -89,23 +125,55 @@ func New(disk storage.Manager, capacity int, wal LogFlusher) *Pool {
 	if wal == nil {
 		wal = nopFlusher{}
 	}
-	p := &Pool{
-		disk:   disk,
-		wal:    wal,
-		table:  make(map[page.PageID]*Frame, capacity),
-		frames: make([]*Frame, capacity),
+	nshards := 1
+	for nshards < maxShards && nshards*8 <= capacity {
+		nshards <<= 1
 	}
-	p.cond = sync.NewCond(&p.mu)
-	for i := range p.frames {
-		p.frames[i] = &Frame{state: stateFree}
+	p := &Pool{
+		disk:     disk,
+		wal:      wal,
+		capacity: capacity,
+		reg:      stats.NewRegistry(),
+	}
+	p.hits = p.reg.Counter("buffer.hits")
+	p.misses = p.reg.Counter("buffer.misses")
+	p.evicts = p.reg.Counter("buffer.evictions")
+	p.steals = p.reg.Counter("buffer.frame_steals")
+	p.contended = p.reg.Counter("buffer.shard_contention")
+	p.reg.Gauge("buffer.shards", func() int64 { return int64(nshards) })
+	p.reg.Gauge("buffer.capacity", func() int64 { return int64(capacity) })
+
+	p.shards = make([]*shard, nshards)
+	for i := range p.shards {
+		s := &shard{
+			table:     make(map[page.PageID]*Frame, capacity/nshards+1),
+			contended: p.contended,
+		}
+		s.cond = sync.NewCond(&s.mu)
+		p.shards[i] = s
+	}
+	for i := 0; i < capacity; i++ {
+		s := p.shards[i%nshards]
+		s.frames = append(s.frames, &Frame{state: stateFree, home: s})
 	}
 	return p
 }
 
-// Capacity returns the number of frames.
-func (p *Pool) Capacity() int { return len(p.frames) }
+// shardOf maps a page id to its home shard (Fibonacci hashing; the high
+// bits spread sequential ids well).
+func (p *Pool) shardOf(id page.PageID) *shard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return p.shards[(h>>32)%uint64(len(p.shards))]
+}
 
-// Stats returns cumulative hit/miss/eviction counts.
+// Capacity returns the number of frames.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Metrics exposes the pool's counter registry.
+func (p *Pool) Metrics() *stats.Registry { return p.reg }
+
+// Stats returns cumulative hit/miss/eviction counts (read through the
+// stats registry).
 func (p *Pool) Stats() (hits, misses, evicts int64) {
 	return p.hits.Load(), p.misses.Load(), p.evicts.Load()
 }
@@ -125,112 +193,230 @@ func (p *Pool) FetchEx(id page.PageID) (*Frame, bool, error) {
 	if id == page.InvalidPage {
 		return nil, false, fmt.Errorf("buffer: fetch of invalid page")
 	}
-	p.mu.Lock()
+	s := p.shardOf(id)
+	s.lock()
 	for {
-		if f, ok := p.table[id]; ok {
+		if f, ok := s.table[id]; ok {
 			f.pins++
 			f.refbit = true
 			for f.state == stateLoading || f.state == stateWriting {
-				p.cond.Wait()
+				s.cond.Wait()
 			}
 			// The pin taken above prevents the frame from being
 			// stolen for another page, so f.id is still id.
-			p.mu.Unlock()
+			s.mu.Unlock()
 			p.hits.Add(1)
 			return f, false, nil
 		}
-		// Miss: claim a victim frame.
-		f, err := p.victimLocked()
+		// Miss: claim a reusable frame in this shard.
+		f, dropped, err := p.claimLocked(s)
 		if err != nil {
-			p.mu.Unlock()
+			s.mu.Unlock()
 			return nil, false, err
 		}
-		if f.state == stateReady && f.dirty {
-			// Steal: write back under the WAL rule without
-			// holding the pool mutex.
-			f.state = stateWriting
-			f.pins++
-			oldID := f.id
-			pageLSN := f.Page.LSN()
-			img := make([]byte, page.Size)
-			copy(img, f.Page.Bytes())
-			p.mu.Unlock()
-
-			werr := p.wal.FlushTo(pageLSN)
-			if werr == nil {
-				werr = p.disk.WritePage(oldID, img)
-			}
-
-			p.mu.Lock()
-			f.pins--
-			f.state = stateReady
-			if werr != nil {
-				p.cond.Broadcast()
-				p.mu.Unlock()
-				return nil, false, fmt.Errorf("buffer: evict %d: %w", oldID, werr)
-			}
-			f.dirty = false
-			f.recLSN = 0
-			p.cond.Broadcast()
-			if f.pins > 0 {
-				// Someone re-pinned the old page during the
-				// write; it stays cached. Retry.
-				continue
-			}
-			// Fall through to reuse the now-clean frame — but the
-			// target page might have been loaded by a concurrent
-			// fetch while we were writing; re-check the table.
-			if _, ok := p.table[id]; ok {
-				continue
-			}
+		if f == nil || (dropped && s.table[id] != nil) {
+			// The shard mutex was dropped along the way (write-back
+			// or steal) and the world may have changed — in
+			// particular a concurrent fetch may have loaded the
+			// target page. Retry from the top; any frame claimed
+			// stays clean and evictable in this shard.
+			continue
 		}
 		// Reuse frame for the new page.
-		if f.state == stateReady || f.state == stateFree {
-			if f.state == stateReady {
-				delete(p.table, f.id)
-				p.evicts.Add(1)
-			}
-			f.id = id
-			f.state = stateLoading
-			f.pins = 1
-			f.dirty = false
-			f.recLSN = 0
-			f.refbit = true
-			p.table[id] = f
-			p.mu.Unlock()
-
-			rerr := p.disk.ReadPage(id, f.Page.Bytes())
-
-			p.mu.Lock()
-			if rerr != nil {
-				f.pins--
-				f.state = stateFree
-				delete(p.table, id)
-				p.cond.Broadcast()
-				p.mu.Unlock()
-				return nil, false, rerr
-			}
-			f.state = stateReady
-			p.cond.Broadcast()
-			p.mu.Unlock()
-			p.misses.Add(1)
-			return f, true, nil
+		if f.state == stateReady {
+			delete(s.table, f.id)
+			p.evicts.Add(1)
 		}
-		// Victim raced into another state; retry.
+		f.id = id
+		f.state = stateLoading
+		f.pins = 1
+		f.dirty = false
+		f.recLSN = 0
+		f.refbit = true
+		s.table[id] = f
+		s.mu.Unlock()
+
+		rerr := p.disk.ReadPage(id, f.Page.Bytes())
+
+		s.lock()
+		if rerr != nil {
+			f.pins--
+			f.state = stateFree
+			delete(s.table, id)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return nil, false, rerr
+		}
+		f.state = stateReady
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		p.misses.Add(1)
+		return f, true, nil
 	}
 }
 
-// victimLocked selects an unpinned frame using the clock algorithm. The
-// pool mutex must be held.
-func (p *Pool) victimLocked() (*Frame, error) {
-	n := len(p.frames)
+// claimLocked obtains a clean, unpinned, reusable frame belonging to s
+// (stateFree, or stateReady holding an evictable page the caller must
+// unmap). Called and returns with s.mu held; dropped reports whether the
+// mutex was released at any point, in which case the caller must
+// re-validate its own preconditions. A nil frame with nil error means a
+// race consumed the claim and the caller should retry.
+func (p *Pool) claimLocked(s *shard) (f *Frame, dropped bool, err error) {
+	stole := false
+	for {
+		if f := s.victimLocked(); f != nil {
+			if f.state == stateReady && f.dirty {
+				ok, werr := p.writeBackLocked(s, f)
+				dropped = true
+				if werr != nil {
+					return nil, dropped, werr
+				}
+				if !ok {
+					// Re-pinned during the write; rescan.
+					continue
+				}
+			}
+			return f, dropped, nil
+		}
+		if stole {
+			return nil, dropped, ErrPoolExhausted
+		}
+		stole = true
+		// Local shard exhausted: steal an evictable frame from a
+		// sibling shard and adopt it.
+		s.mu.Unlock()
+		stolen := p.stealFrame(s)
+		s.lock()
+		dropped = true
+		if stolen != nil {
+			stolen.home = s
+			s.frames = append(s.frames, stolen)
+			p.steals.Add(1)
+		}
+		// Rescan even when the steal failed: a local frame may have
+		// been unpinned while the mutex was dropped.
+	}
+}
+
+// writeBackLocked writes f's dirty page to disk under the WAL rule. Called
+// and returns with s.mu held (released around the I/O). ok reports that the
+// frame is clean and unpinned on return, i.e. immediately reusable.
+func (p *Pool) writeBackLocked(s *shard, f *Frame) (ok bool, err error) {
+	f.state = stateWriting
+	f.pins++
+	oldID := f.id
+	pageLSN := f.Page.LSN()
+	img := make([]byte, page.Size)
+	copy(img, f.Page.Bytes())
+	s.mu.Unlock()
+
+	werr := p.wal.FlushTo(pageLSN)
+	if werr == nil {
+		werr = p.disk.WritePage(oldID, img)
+	}
+
+	s.lock()
+	f.pins--
+	f.state = stateReady
+	if werr != nil {
+		s.cond.Broadcast()
+		return false, fmt.Errorf("buffer: evict %d: %w", oldID, werr)
+	}
+	f.dirty = false
+	f.recLSN = 0
+	s.cond.Broadcast()
+	return f.pins == 0, nil
+}
+
+// stealFrame removes an evictable frame from some shard other than s and
+// returns it orphaned (stateFree, in no shard's frame list), or nil when
+// every other frame in the pool is pinned. No locks are held on entry.
+func (p *Pool) stealFrame(s *shard) *Frame {
+	for _, allowDirty := range []bool{false, true} {
+		for _, t := range p.shards {
+			if t == s {
+				continue
+			}
+			if f := p.stealFrom(t, allowDirty); f != nil {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// stealFrom extracts one evictable frame from t, writing back a dirty
+// victim if allowDirty. A shard is never drained below one frame.
+func (p *Pool) stealFrom(t *shard, allowDirty bool) *Frame {
+	t.lock()
+	defer t.mu.Unlock()
+	for attempts := 0; attempts < 3; attempts++ {
+		if len(t.frames) <= 1 {
+			return nil
+		}
+		var dirtyCand *Frame
+		for _, f := range t.frames {
+			if f.pins > 0 {
+				continue
+			}
+			if f.state == stateFree || (f.state == stateReady && !f.dirty) {
+				if f.state == stateReady {
+					delete(t.table, f.id)
+					p.evicts.Add(1)
+				}
+				t.removeFrameLocked(f)
+				f.state = stateFree
+				f.dirty = false
+				f.recLSN = 0
+				f.refbit = false
+				return f
+			}
+			if allowDirty && dirtyCand == nil && f.state == stateReady && f.dirty {
+				dirtyCand = f
+			}
+		}
+		if dirtyCand == nil {
+			return nil
+		}
+		if ok, err := p.writeBackLocked(t, dirtyCand); err != nil || !ok {
+			continue // the world changed during the write; rescan
+		}
+		// The candidate is clean now; the next sweep extracts it.
+	}
+	return nil
+}
+
+// removeFrameLocked drops f from the shard's frame list (t.mu held).
+func (t *shard) removeFrameLocked(f *Frame) {
+	for i, g := range t.frames {
+		if g == f {
+			t.frames = append(t.frames[:i], t.frames[i+1:]...)
+			if t.hand > i {
+				t.hand--
+			}
+			if t.hand >= len(t.frames) {
+				t.hand = 0
+			}
+			return
+		}
+	}
+}
+
+// victimLocked selects an unpinned frame using the clock algorithm over the
+// shard's frames, or nil when all are pinned or busy. The shard mutex must
+// be held.
+func (s *shard) victimLocked() *Frame {
+	n := len(s.frames)
+	if n == 0 {
+		return nil
+	}
 	// Two full sweeps: the first clears reference bits, the second takes
 	// any unpinned ready/free frame.
 	for pass := 0; pass < 2*n; pass++ {
-		f := p.frames[p.hand]
-		p.hand = (p.hand + 1) % n
+		f := s.frames[s.hand]
+		s.hand = (s.hand + 1) % n
 		if f.state == stateFree {
-			return f, nil
+			return f
 		}
 		if f.state != stateReady || f.pins > 0 {
 			continue
@@ -239,15 +425,15 @@ func (p *Pool) victimLocked() (*Frame, error) {
 			f.refbit = false
 			continue
 		}
-		return f, nil
+		return f
 	}
 	// Last resort: any unpinned ready frame regardless of refbit.
-	for _, f := range p.frames {
+	for _, f := range s.frames {
 		if (f.state == stateReady && f.pins == 0) || f.state == stateFree {
-			return f, nil
+			return f
 		}
 	}
-	return nil, ErrPoolExhausted
+	return nil
 }
 
 // NewPage allocates a fresh disk page, formats it as a node at the given
@@ -260,59 +446,31 @@ func (p *Pool) NewPage(level uint16) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
+	s := p.shardOf(id)
+	s.lock()
 	for {
-		f, err := p.victimLocked()
+		f, _, err := p.claimLocked(s)
 		if err != nil {
-			p.mu.Unlock()
+			s.mu.Unlock()
 			return nil, err
 		}
-		if f.state == stateReady && f.dirty {
-			// Steal path: reuse the fetch machinery by releasing
-			// the mutex through FetchEx semantics is overkill;
-			// write back inline under the same protocol.
-			f.state = stateWriting
-			f.pins++
-			oldID := f.id
-			pageLSN := f.Page.LSN()
-			img := make([]byte, page.Size)
-			copy(img, f.Page.Bytes())
-			p.mu.Unlock()
-			werr := p.wal.FlushTo(pageLSN)
-			if werr == nil {
-				werr = p.disk.WritePage(oldID, img)
-			}
-			p.mu.Lock()
-			f.pins--
-			f.state = stateReady
-			if werr != nil {
-				p.cond.Broadcast()
-				p.mu.Unlock()
-				return nil, fmt.Errorf("buffer: evict %d: %w", oldID, werr)
-			}
-			f.dirty = false
-			f.recLSN = 0
-			p.cond.Broadcast()
-			if f.pins > 0 {
-				continue
-			}
+		if f == nil {
+			continue
 		}
-		if f.state == stateReady || f.state == stateFree {
-			if f.state == stateReady {
-				delete(p.table, f.id)
-				p.evicts.Add(1)
-			}
-			f.id = id
-			f.state = stateReady
-			f.pins = 1
-			f.dirty = true
-			f.recLSN = 0
-			f.refbit = true
-			p.table[id] = f
-			f.Page.Init(id, level)
-			p.mu.Unlock()
-			return f, nil
+		if f.state == stateReady {
+			delete(s.table, f.id)
+			p.evicts.Add(1)
 		}
+		f.id = id
+		f.state = stateReady
+		f.pins = 1
+		f.dirty = true
+		f.recLSN = 0
+		f.refbit = true
+		s.table[id] = f
+		f.Page.Init(id, level)
+		s.mu.Unlock()
+		return f, nil
 	}
 }
 
@@ -320,7 +478,8 @@ func (p *Pool) NewPage(level uint16) (*Frame, error) {
 // dirty with updateLSN as its first-dirtying LSN (for the dirty-page table
 // in checkpoints); pass 0 when no WAL is in use.
 func (p *Pool) Unpin(f *Frame, dirty bool, updateLSN page.LSN) {
-	p.mu.Lock()
+	s := f.home
+	s.lock()
 	if dirty {
 		if !f.dirty || f.recLSN == 0 {
 			f.recLSN = updateLSN
@@ -329,34 +488,36 @@ func (p *Pool) Unpin(f *Frame, dirty bool, updateLSN page.LSN) {
 	}
 	f.pins--
 	if f.pins < 0 {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		panic(fmt.Sprintf("buffer: negative pin count on page %d", f.id))
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // MarkDirty marks a pinned frame dirty with the given update LSN without
 // changing its pin count.
 func (p *Pool) MarkDirty(f *Frame, updateLSN page.LSN) {
-	p.mu.Lock()
+	s := f.home
+	s.lock()
 	if !f.dirty || f.recLSN == 0 {
 		f.recLSN = updateLSN
 	}
 	f.dirty = true
-	p.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // FlushPage writes the named page to disk if cached and dirty, honoring the
 // WAL rule. It is a no-op for uncached pages.
 func (p *Pool) FlushPage(id page.PageID) error {
-	p.mu.Lock()
-	f, ok := p.table[id]
+	s := p.shardOf(id)
+	s.lock()
+	f, ok := s.table[id]
 	if !ok || !f.dirty || f.state != stateReady {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil
 	}
 	f.pins++
-	p.mu.Unlock()
+	s.mu.Unlock()
 
 	// Shared latch so no concurrent modification tears the image.
 	f.Latch.Acquire(latch.S)
@@ -370,27 +531,29 @@ func (p *Pool) FlushPage(id page.PageID) error {
 		err = p.disk.WritePage(id, img)
 	}
 
-	p.mu.Lock()
+	s.lock()
 	if err == nil {
 		f.dirty = false
 		f.recLSN = 0
 	}
 	f.pins--
-	p.mu.Unlock()
+	s.mu.Unlock()
 	return err
 }
 
 // FlushAll writes every dirty cached page to disk (used at checkpoint and
 // clean shutdown).
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	ids := make([]page.PageID, 0, len(p.table))
-	for id, f := range p.table {
-		if f.dirty {
-			ids = append(ids, id)
+	var ids []page.PageID
+	for _, s := range p.shards {
+		s.lock()
+		for id, f := range s.table {
+			if f.dirty {
+				ids = append(ids, id)
+			}
 		}
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 	for _, id := range ids {
 		if err := p.FlushPage(id); err != nil {
 			return err
@@ -402,13 +565,15 @@ func (p *Pool) FlushAll() error {
 // DirtyPages returns the (pageID, recLSN) of every dirty cached page — the
 // dirty page table recorded by fuzzy checkpoints.
 func (p *Pool) DirtyPages() map[page.PageID]page.LSN {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	out := make(map[page.PageID]page.LSN)
-	for id, f := range p.table {
-		if f.dirty {
-			out[id] = f.recLSN
+	for _, s := range p.shards {
+		s.lock()
+		for id, f := range s.table {
+			if f.dirty {
+				out[id] = f.recLSN
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -417,14 +582,15 @@ func (p *Pool) DirtyPages() map[page.PageID]page.LSN {
 // allocated page is abandoned. The page must be pinned exactly once by the
 // caller; the pin is consumed.
 func (p *Pool) Discard(f *Frame) {
-	p.mu.Lock()
+	s := f.home
+	s.lock()
 	f.pins--
 	if f.pins == 0 {
-		delete(p.table, f.id)
+		delete(s.table, f.id)
 		f.state = stateFree
 		f.dirty = false
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // EnsureAllocated forwards to the disk manager; restart undo of a Free-Page
@@ -437,31 +603,34 @@ func (p *Pool) EnsureAllocated(id page.PageID) error {
 // cached copy. The caller must guarantee (via the drain protocol, §7.2)
 // that no operation still holds a pointer to the page.
 func (p *Pool) Deallocate(id page.PageID) error {
-	p.mu.Lock()
-	if f, ok := p.table[id]; ok {
+	s := p.shardOf(id)
+	s.lock()
+	if f, ok := s.table[id]; ok {
 		if f.pins > 0 {
-			p.mu.Unlock()
+			s.mu.Unlock()
 			return fmt.Errorf("buffer: deallocate pinned page %d", id)
 		}
-		delete(p.table, id)
+		delete(s.table, id)
 		f.state = stateFree
 		f.dirty = false
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 	return p.disk.Deallocate(id)
 }
 
 // Reset empties the pool without writing anything back — the simulated
 // "loss of buffer pool contents" at a crash.
 func (p *Pool) Reset() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.table = make(map[page.PageID]*Frame, len(p.frames))
-	for _, f := range p.frames {
-		f.state = stateFree
-		f.pins = 0
-		f.dirty = false
-		f.recLSN = 0
-		f.refbit = false
+	for _, s := range p.shards {
+		s.lock()
+		s.table = make(map[page.PageID]*Frame, len(s.frames))
+		for _, f := range s.frames {
+			f.state = stateFree
+			f.pins = 0
+			f.dirty = false
+			f.recLSN = 0
+			f.refbit = false
+		}
+		s.mu.Unlock()
 	}
 }

@@ -9,6 +9,16 @@
 // deadlock detection: when a request would block, the manager searches the
 // waits-for graph for a cycle and, if the requester is part of one, denies
 // the request with ErrDeadlock so the caller can abort and retry.
+//
+// The lock table is hash-partitioned by Name into stripes, each with its
+// own mutex, so the grant/release fast path on unrelated names never
+// serializes on a manager-wide lock. Per-transaction held-lock sets are
+// striped separately by transaction id; the locking discipline is always
+// name-stripe before held-stripe, and never two name-stripes at once
+// except in CopyHolders, which orders them by stripe index. Deadlock
+// detection is the deliberate exception: it is a slow path that runs under
+// a single detector mutex and snapshots waits-for edges stripe by stripe —
+// detection is occasional and may serialize; the fast path must not.
 package lock
 
 import (
@@ -17,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/page"
+	"repro/internal/stats"
 )
 
 // Mode is a lock mode.
@@ -102,41 +113,121 @@ type lockList struct {
 	queue   []*waiter
 }
 
-// Manager is the lock manager. The zero value is not usable; call NewManager.
-type Manager struct {
-	mu    sync.Mutex
-	table map[Name]*lockList
-	held  map[page.TxnID]map[Name]Mode
+// numStripes partitions the lock table and the held-lock sets.
+const numStripes = 16
 
-	acquisitions int64
-	waits        int64
-	deadlocks    int64
+// stripe is one partition of the lock table.
+type stripe struct {
+	mu        sync.Mutex
+	table     map[Name]*lockList
+	contended *stats.Counter
 }
 
-// NewManager returns an empty lock manager.
-func NewManager() *Manager {
-	return &Manager{
-		table: make(map[Name]*lockList),
-		held:  make(map[page.TxnID]map[Name]Mode),
+func (st *stripe) lock() {
+	if st.mu.TryLock() {
+		return
 	}
+	st.contended.Add(1)
+	st.mu.Lock()
 }
 
-func (m *Manager) list(n Name) *lockList {
-	ll, ok := m.table[n]
+func (st *stripe) list(n Name) *lockList {
+	ll, ok := st.table[n]
 	if !ok {
 		ll = &lockList{granted: make(map[page.TxnID]Mode)}
-		m.table[n] = ll
+		st.table[n] = ll
 	}
 	return ll
 }
 
+// nameOfLocked finds the name of a list within the stripe (reverse lookup;
+// lists are few and short-lived so the linear scan is acceptable).
+func (st *stripe) nameOfLocked(target *lockList) Name {
+	for n, ll := range st.table {
+		if ll == target {
+			return n
+		}
+	}
+	return Name{}
+}
+
+// heldStripe is one partition of the per-transaction held-lock sets.
+type heldStripe struct {
+	mu   sync.Mutex
+	held map[page.TxnID]map[Name]Mode
+}
+
+// Manager is the lock manager. The zero value is not usable; call NewManager.
+type Manager struct {
+	stripes     [numStripes]stripe
+	heldStripes [numStripes]heldStripe
+
+	// detectorMu serializes deadlock detection (slow path only).
+	detectorMu sync.Mutex
+
+	reg          *stats.Registry
+	acquisitions *stats.Counter
+	waits        *stats.Counter
+	deadlocks    *stats.Counter
+	contended    *stats.Counter
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{reg: stats.NewRegistry()}
+	m.acquisitions = m.reg.Counter("lock.acquisitions")
+	m.waits = m.reg.Counter("lock.waits")
+	m.deadlocks = m.reg.Counter("lock.deadlocks")
+	m.contended = m.reg.Counter("lock.stripe_contention")
+	m.reg.Gauge("lock.stripes", func() int64 { return numStripes })
+	for i := range m.stripes {
+		m.stripes[i].table = make(map[Name]*lockList)
+		m.stripes[i].contended = m.contended
+	}
+	for i := range m.heldStripes {
+		m.heldStripes[i].held = make(map[page.TxnID]map[Name]Mode)
+	}
+	return m
+}
+
+// Metrics exposes the manager's counter registry.
+func (m *Manager) Metrics() *stats.Registry { return m.reg }
+
+func (m *Manager) stripeOf(n Name) *stripe {
+	h := (n.Key + uint64(n.Space)<<56 + 1) * 0x9E3779B97F4A7C15
+	return &m.stripes[(h>>32)%numStripes]
+}
+
+func (m *Manager) heldStripeOf(txn page.TxnID) *heldStripe {
+	h := (uint64(txn) + 1) * 0x9E3779B97F4A7C15
+	return &m.heldStripes[(h>>32)%numStripes]
+}
+
+// noteHeld records that txn holds n in mode. Callers may hold n's stripe
+// lock (the order is always name-stripe, then held-stripe).
 func (m *Manager) noteHeld(txn page.TxnID, n Name, mode Mode) {
-	hm, ok := m.held[txn]
+	hs := m.heldStripeOf(txn)
+	hs.mu.Lock()
+	hm, ok := hs.held[txn]
 	if !ok {
 		hm = make(map[Name]Mode)
-		m.held[txn] = hm
+		hs.held[txn] = hm
 	}
 	hm[n] = mode
+	hs.mu.Unlock()
+}
+
+// dropHeld removes n from txn's held set.
+func (m *Manager) dropHeld(txn page.TxnID, n Name) {
+	hs := m.heldStripeOf(txn)
+	hs.mu.Lock()
+	if hm := hs.held[txn]; hm != nil {
+		delete(hm, n)
+		if len(hm) == 0 {
+			delete(hs.held, txn)
+		}
+	}
+	hs.mu.Unlock()
 }
 
 // canGrantLocked reports whether txn's request for mode conflicts with no
@@ -158,20 +249,21 @@ func canGrantLocked(ll *lockList, txn page.TxnID, mode Mode) bool {
 // S→X upgrade. If granting would complete a waits-for cycle, the request
 // fails immediately with ErrDeadlock.
 func (m *Manager) Lock(txn page.TxnID, n Name, mode Mode) error {
-	m.mu.Lock()
-	ll := m.list(n)
+	st := m.stripeOf(n)
+	st.lock()
+	ll := st.list(n)
 
 	if cur, ok := ll.granted[txn]; ok {
 		if covers(cur, mode) {
-			m.mu.Unlock()
+			st.mu.Unlock()
 			return nil
 		}
 		// S→X upgrade.
 		if canGrantLocked(ll, txn, X) {
 			ll.granted[txn] = X
 			m.noteHeld(txn, n, X)
-			m.acquisitions++
-			m.mu.Unlock()
+			m.acquisitions.Inc()
+			st.mu.Unlock()
 			return nil
 		}
 		w := &waiter{txn: txn, mode: X, upgrade: true, done: make(chan error, 1)}
@@ -184,7 +276,7 @@ func (m *Manager) Lock(txn page.TxnID, n Name, mode Mode) error {
 		ll.queue = append(ll.queue, nil)
 		copy(ll.queue[i+1:], ll.queue[i:])
 		ll.queue[i] = w
-		return m.blockLocked(ll, w, n)
+		return m.block(st, ll, w, n)
 	}
 
 	// Fresh request: strict FIFO — grant only if compatible with the
@@ -192,45 +284,56 @@ func (m *Manager) Lock(txn page.TxnID, n Name, mode Mode) error {
 	if len(ll.queue) == 0 && canGrantLocked(ll, txn, mode) {
 		ll.granted[txn] = mode
 		m.noteHeld(txn, n, mode)
-		m.acquisitions++
-		m.mu.Unlock()
+		m.acquisitions.Inc()
+		st.mu.Unlock()
 		return nil
 	}
 	w := &waiter{txn: txn, mode: mode, done: make(chan error, 1)}
 	ll.queue = append(ll.queue, w)
-	return m.blockLocked(ll, w, n)
+	return m.block(st, ll, w, n)
 }
 
-// blockLocked finishes a Lock call whose waiter has been enqueued. The
-// manager mutex is held on entry and released before blocking.
-func (m *Manager) blockLocked(ll *lockList, w *waiter, n Name) error {
-	m.waits++
-	if m.wouldDeadlockLocked(w.txn) {
-		m.deadlocks++
-		m.removeWaiterLocked(ll, w)
-		m.mu.Unlock()
-		return fmt.Errorf("%w (txn %d on %s)", ErrDeadlock, w.txn, n)
+// block finishes a Lock call whose waiter has been enqueued. The stripe
+// mutex is held on entry and released before the deadlock check and the
+// wait itself, so detection never blocks the grant/release fast path on
+// other stripes.
+func (m *Manager) block(st *stripe, ll *lockList, w *waiter, n Name) error {
+	m.waits.Inc()
+	st.mu.Unlock()
+	if m.detectDeadlock(w.txn) {
+		st.lock()
+		removed := removeWaiterLocked(ll, w)
+		st.mu.Unlock()
+		if removed {
+			m.deadlocks.Inc()
+			return fmt.Errorf("%w (txn %d on %s)", ErrDeadlock, w.txn, n)
+		}
+		// The waiter was granted (or aborted) while detection ran;
+		// the buffered channel already carries the outcome.
 	}
-	m.mu.Unlock()
 	return <-w.done
 }
 
-func (m *Manager) removeWaiterLocked(ll *lockList, w *waiter) {
+// removeWaiterLocked removes w from the queue, reporting whether it was
+// still enqueued.
+func removeWaiterLocked(ll *lockList, w *waiter) bool {
 	for i, q := range ll.queue {
 		if q == w {
 			ll.queue = append(ll.queue[:i], ll.queue[i+1:]...)
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // TryLock attempts to acquire without waiting and reports success. Used by
 // node deletion to probe for signaling locks ("checks for signaling locks
 // by trying to acquire an X-mode lock", §7.2).
 func (m *Manager) TryLock(txn page.TxnID, n Name, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ll := m.list(n)
+	st := m.stripeOf(n)
+	st.lock()
+	defer st.mu.Unlock()
+	ll := st.list(n)
 	if cur, ok := ll.granted[txn]; ok {
 		if covers(cur, mode) {
 			return true
@@ -238,7 +341,7 @@ func (m *Manager) TryLock(txn page.TxnID, n Name, mode Mode) bool {
 		if canGrantLocked(ll, txn, X) {
 			ll.granted[txn] = X
 			m.noteHeld(txn, n, X)
-			m.acquisitions++
+			m.acquisitions.Inc()
 			return true
 		}
 		return false
@@ -246,7 +349,7 @@ func (m *Manager) TryLock(txn page.TxnID, n Name, mode Mode) bool {
 	if len(ll.queue) == 0 && canGrantLocked(ll, txn, mode) {
 		ll.granted[txn] = mode
 		m.noteHeld(txn, n, mode)
-		m.acquisitions++
+		m.acquisitions.Inc()
 		return true
 	}
 	return false
@@ -254,13 +357,14 @@ func (m *Manager) TryLock(txn page.TxnID, n Name, mode Mode) bool {
 
 // Unlock releases txn's hold on n and grants any now-compatible waiters.
 func (m *Manager) Unlock(txn page.TxnID, n Name) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.releaseLocked(txn, n)
+	st := m.stripeOf(n)
+	st.lock()
+	m.releaseLocked(st, txn, n)
+	st.mu.Unlock()
 }
 
-func (m *Manager) releaseLocked(txn page.TxnID, n Name) {
-	ll, ok := m.table[n]
+func (m *Manager) releaseLocked(st *stripe, txn page.TxnID, n Name) {
+	ll, ok := st.table[n]
 	if !ok {
 		return
 	}
@@ -268,20 +372,15 @@ func (m *Manager) releaseLocked(txn page.TxnID, n Name) {
 		return
 	}
 	delete(ll.granted, txn)
-	if hm := m.held[txn]; hm != nil {
-		delete(hm, n)
-		if len(hm) == 0 {
-			delete(m.held, txn)
-		}
-	}
-	m.promoteLocked(ll)
+	m.dropHeld(txn, n)
+	m.promoteLocked(st, ll)
 	if len(ll.granted) == 0 && len(ll.queue) == 0 {
-		delete(m.table, n)
+		delete(st.table, n)
 	}
 }
 
 // promoteLocked grants queued waiters in FIFO order while compatible.
-func (m *Manager) promoteLocked(ll *lockList) {
+func (m *Manager) promoteLocked(st *stripe, ll *lockList) {
 	for len(ll.queue) > 0 {
 		w := ll.queue[0]
 		if w.upgrade {
@@ -295,43 +394,33 @@ func (m *Manager) promoteLocked(ll *lockList) {
 			}
 			ll.granted[w.txn] = w.mode
 		}
-		m.noteHeld(w.txn, m.nameOfLocked(ll), ll.granted[w.txn])
-		m.acquisitions++
+		m.noteHeld(w.txn, st.nameOfLocked(ll), ll.granted[w.txn])
+		m.acquisitions.Inc()
 		ll.queue = ll.queue[1:]
 		w.done <- nil
 	}
 }
 
-// nameOfLocked finds the name of a list (reverse lookup; lists are few and
-// short-lived so the linear scan is acceptable and keeps the struct small).
-func (m *Manager) nameOfLocked(target *lockList) Name {
-	for n, ll := range m.table {
-		if ll == target {
-			return n
-		}
-	}
-	return Name{}
-}
-
 // ReleaseAll releases every lock held by txn (transaction end, 2PL).
 func (m *Manager) ReleaseAll(txn page.TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	hm := m.held[txn]
-	names := make([]Name, 0, len(hm))
-	for n := range hm {
+	hs := m.heldStripeOf(txn)
+	hs.mu.Lock()
+	names := make([]Name, 0, len(hs.held[txn]))
+	for n := range hs.held[txn] {
 		names = append(names, n)
 	}
+	hs.mu.Unlock()
 	for _, n := range names {
-		m.releaseLocked(txn, n)
+		m.Unlock(txn, n)
 	}
 }
 
 // Holding returns the mode txn holds on n, and whether it holds it at all.
 func (m *Manager) Holding(txn page.TxnID, n Name) (Mode, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ll, ok := m.table[n]
+	st := m.stripeOf(n)
+	st.lock()
+	defer st.mu.Unlock()
+	ll, ok := st.table[n]
 	if !ok {
 		return 0, false
 	}
@@ -341,9 +430,10 @@ func (m *Manager) Holding(txn page.TxnID, n Name) (Mode, bool) {
 
 // Holders returns the transactions currently granted the named lock.
 func (m *Manager) Holders(n Name) []page.TxnID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ll, ok := m.table[n]
+	st := m.stripeOf(n)
+	st.lock()
+	defer st.mu.Unlock()
+	ll, ok := st.table[n]
 	if !ok {
 		return nil
 	}
@@ -358,14 +448,30 @@ func (m *Manager) Holders(n Name) []page.TxnID {
 // required when a node split must replicate the signaling locks of the
 // original node onto the new sibling (§7.2, §10.3). Holders that would
 // conflict on dst are skipped (cannot happen for the all-S signaling use).
+// The two stripes involved are locked in index order, the fixed discipline
+// for every two-stripe operation.
 func (m *Manager) CopyHolders(src, dst Name) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	sl, ok := m.table[src]
+	ss, ds := m.stripeOf(src), m.stripeOf(dst)
+	first, second := ss, ds
+	if stripeIndex(m, ds) < stripeIndex(m, ss) {
+		first, second = ds, ss
+	}
+	first.lock()
+	if second != first {
+		second.lock()
+	}
+	defer func() {
+		if second != first {
+			second.mu.Unlock()
+		}
+		first.mu.Unlock()
+	}()
+
+	sl, ok := ss.table[src]
 	if !ok {
 		return
 	}
-	dl := m.list(dst)
+	dl := ds.list(dst)
 	for txn, mode := range sl.granted {
 		if cur, held := dl.granted[txn]; held && covers(cur, mode) {
 			continue
@@ -377,30 +483,48 @@ func (m *Manager) CopyHolders(src, dst Name) {
 		m.noteHeld(txn, dst, mode)
 	}
 	if len(dl.granted) == 0 && len(dl.queue) == 0 {
-		delete(m.table, dst)
+		delete(ds.table, dst)
 	}
 }
 
-// wouldDeadlockLocked reports whether start is on a cycle of the waits-for
+func stripeIndex(m *Manager, st *stripe) int {
+	for i := range m.stripes {
+		if &m.stripes[i] == st {
+			return i
+		}
+	}
+	return 0
+}
+
+// detectDeadlock reports whether start is on a cycle of the waits-for
 // graph. An enqueued waiter waits for every granted holder it conflicts
 // with and for every earlier queued waiter it conflicts with (FIFO order is
-// a real dependency).
-func (m *Manager) wouldDeadlockLocked(start page.TxnID) bool {
+// a real dependency). Detection serializes on its own mutex and snapshots
+// the stripes one at a time; a cycle whose members are all blocked is
+// stable and is therefore seen by the last transaction to block.
+func (m *Manager) detectDeadlock(start page.TxnID) bool {
+	m.detectorMu.Lock()
+	defer m.detectorMu.Unlock()
 	adj := make(map[page.TxnID][]page.TxnID)
-	for _, ll := range m.table {
-		for i, w := range ll.queue {
-			for holder, hmode := range ll.granted {
-				if holder != w.txn && !compatible(w.mode, hmode) {
-					adj[w.txn] = append(adj[w.txn], holder)
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.lock()
+		for _, ll := range st.table {
+			for i, w := range ll.queue {
+				for holder, hmode := range ll.granted {
+					if holder != w.txn && !compatible(w.mode, hmode) {
+						adj[w.txn] = append(adj[w.txn], holder)
+					}
 				}
-			}
-			for j := 0; j < i; j++ {
-				ahead := ll.queue[j]
-				if ahead.txn != w.txn && !compatible(w.mode, ahead.mode) {
-					adj[w.txn] = append(adj[w.txn], ahead.txn)
+				for j := 0; j < i; j++ {
+					ahead := ll.queue[j]
+					if ahead.txn != w.txn && !compatible(w.mode, ahead.mode) {
+						adj[w.txn] = append(adj[w.txn], ahead.txn)
+					}
 				}
 			}
 		}
+		st.mu.Unlock()
 	}
 	// DFS from start looking for a path back to start.
 	seen := make(map[page.TxnID]bool)
@@ -425,25 +549,26 @@ func (m *Manager) wouldDeadlockLocked(start page.TxnID) bool {
 // AbortWaiter cancels any pending request by txn, failing it with the
 // provided error. Used when a transaction is being killed externally.
 func (m *Manager) AbortWaiter(txn page.TxnID, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, ll := range m.table {
-		for i := 0; i < len(ll.queue); i++ {
-			if ll.queue[i].txn == txn {
-				w := ll.queue[i]
-				ll.queue = append(ll.queue[:i], ll.queue[i+1:]...)
-				w.done <- err
-				i--
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.lock()
+		for _, ll := range st.table {
+			for i := 0; i < len(ll.queue); i++ {
+				if ll.queue[i].txn == txn {
+					w := ll.queue[i]
+					ll.queue = append(ll.queue[:i], ll.queue[i+1:]...)
+					w.done <- err
+					i--
+				}
 			}
+			m.promoteLocked(st, ll)
 		}
-		m.promoteLocked(ll)
+		st.mu.Unlock()
 	}
 }
 
 // Stats returns cumulative counters: total grants, requests that waited,
-// and deadlocks detected.
+// and deadlocks detected (read through the stats registry).
 func (m *Manager) Stats() (acquisitions, waits, deadlocks int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.acquisitions, m.waits, m.deadlocks
+	return m.acquisitions.Load(), m.waits.Load(), m.deadlocks.Load()
 }

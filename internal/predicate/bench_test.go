@@ -1,0 +1,29 @@
+package predicate
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/page"
+)
+
+// BenchmarkPredicateAttachParallel measures attach/detach on disjoint nodes
+// across goroutines: each goroutine works on its own page-id range, so node
+// lists never overlap and the benchmark isolates the manager's own
+// synchronization cost (run with -cpu 1,4,16 to see scaling).
+func BenchmarkPredicateAttachParallel(b *testing.B) {
+	m := NewManager()
+	var gid atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := uint64(gid.Add(1))
+		txn := page.TxnID(id)
+		p := m.New(txn, Search, []byte("bench"))
+		i := uint64(0)
+		for pb.Next() {
+			node := page.PageID(id<<16 | i%256)
+			m.Attach(p, node, nil)
+			m.Detach(p, node)
+			i++
+		}
+	})
+}

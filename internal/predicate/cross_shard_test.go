@@ -1,0 +1,88 @@
+package predicate
+
+import (
+	"testing"
+
+	"repro/internal/page"
+)
+
+// findNodeInOtherShard returns a node id that hashes to a different shard
+// than base.
+func findNodeInOtherShard(t *testing.T, m *Manager, base page.PageID) page.PageID {
+	t.Helper()
+	for id := base + 1; id < base+100000; id++ {
+		if m.shardOf(id) != m.shardOf(base) {
+			return id
+		}
+	}
+	t.Fatal("no node found in a different shard")
+	return 0
+}
+
+// TestReplicateOnSplitAcrossShards splits a node whose sibling lives in a
+// different shard: replication must take both shard mutexes and leave the
+// predicate attached to both nodes.
+func TestReplicateOnSplitAcrossShards(t *testing.T) {
+	m := NewManager()
+	orig := page.PageID(1)
+	sibling := findNodeInOtherShard(t, m, orig)
+
+	p := m.New(1, Search, []byte("q"))
+	m.Attach(p, orig, nil)
+
+	if n := m.ReplicateOnSplit(orig, sibling, always); n != 1 {
+		t.Fatalf("ReplicateOnSplit = %d, want 1", n)
+	}
+	if got := m.AttachedTo(sibling); len(got) != 1 || got[0] != p {
+		t.Fatalf("sibling attachments = %v", got)
+	}
+	if nodes := m.NodesOf(p); len(nodes) != 2 {
+		t.Fatalf("NodesOf = %v, want both nodes", nodes)
+	}
+
+	// Replication is idempotent even across shards.
+	if n := m.ReplicateOnSplit(orig, sibling, always); n != 0 {
+		t.Fatalf("second ReplicateOnSplit = %d, want 0", n)
+	}
+
+	// Percolation in the reverse direction exercises the opposite
+	// shard-index ordering of the two-shard lock path.
+	q := m.New(2, Search, []byte("r"))
+	m.Attach(q, sibling, nil)
+	if n := m.Percolate(sibling, orig, always); n != 1 {
+		t.Fatalf("reverse Percolate = %d, want 1", n)
+	}
+
+	// Release must clean attachments in both shards.
+	m.Release(p)
+	m.ReleaseTxn(2)
+	preds, atts := m.Counts()
+	if preds != 0 || atts != 0 {
+		t.Fatalf("after release: %d preds, %d attachments", preds, atts)
+	}
+}
+
+// TestReleaseSpansShards attaches one predicate to many nodes across every
+// shard and verifies Release drops all of them.
+func TestReleaseSpansShards(t *testing.T) {
+	m := NewManager()
+	p := m.New(1, Search, nil)
+	for id := page.PageID(1); id <= 64; id++ {
+		m.Attach(p, id, nil)
+	}
+	if _, atts := m.Counts(); atts != 64 {
+		t.Fatalf("attachments = %d, want 64", atts)
+	}
+	m.Release(p)
+	preds, atts := m.Counts()
+	if preds != 0 || atts != 0 {
+		t.Fatalf("after release: %d preds, %d attachments", preds, atts)
+	}
+	// Attach after release must be a no-op.
+	if got := m.Attach(p, 5, always); got != nil {
+		t.Fatalf("attach after release returned %v", got)
+	}
+	if _, atts := m.Counts(); atts != 0 {
+		t.Fatalf("released predicate re-attached: %d attachments", atts)
+	}
+}

@@ -14,6 +14,13 @@
 // The manager is oblivious to predicate semantics: conflicts are decided by
 // a caller-supplied consistency function (the same extension method that
 // drives tree navigation).
+//
+// Node attachment lists are hash-partitioned by PageID into shards with
+// independent mutexes, so attach/detach/conflict-check on different nodes
+// never contend. The per-predicate attachment set lives on the Predicate
+// itself under its own mutex; the locking discipline is shard before
+// predicate, and the two-shard operations (split replication, BP
+// percolation) take both shards up front in index order.
 package predicate
 
 import (
@@ -21,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/page"
+	"repro/internal/stats"
 )
 
 // Kind distinguishes search predicates (attached by scans to guard their
@@ -52,6 +60,12 @@ type Predicate struct {
 	Data  []byte
 
 	seq uint64 // global arrival order, drives per-node FIFO fairness
+
+	// mu guards the attachment set; it is always acquired after the
+	// shard mutex of the node involved, never before.
+	mu       sync.Mutex
+	nodes    map[page.PageID]bool
+	released bool
 }
 
 // attachment links a predicate to a node with its arrival order preserved.
@@ -60,37 +74,77 @@ type attachment struct {
 	seq  uint64
 }
 
+// numShards partitions the per-node attachment lists.
+const numShards = 16
+
+// predShard is one partition of the byNode attachment table.
+type predShard struct {
+	mu        sync.Mutex
+	byNode    map[page.PageID][]attachment
+	contended *stats.Counter
+}
+
+func (s *predShard) lock() {
+	if s.mu.TryLock() {
+		return
+	}
+	s.contended.Add(1)
+	s.mu.Lock()
+}
+
 // Manager tracks predicates and their node attachments.
 type Manager struct {
-	mu      sync.Mutex
-	nextID  uint64
-	nextSeq uint64
-	byTxn   map[page.TxnID][]*Predicate
-	byNode  map[page.PageID][]attachment
-	nodesOf map[*Predicate]map[page.PageID]bool
+	shards  [numShards]predShard
+	nextID  atomic.Uint64
+	nextSeq atomic.Uint64
 
-	checks        atomic.Int64 // conflict checks performed
-	predsExamined atomic.Int64 // predicates examined across all checks
+	ownersMu sync.Mutex
+	byTxn    map[page.TxnID][]*Predicate
+
+	reg           *stats.Registry
+	checks        *stats.Counter // conflict checks performed
+	predsExamined *stats.Counter // predicates examined across all checks
+	contended     *stats.Counter // shard mutex acquisitions that blocked
 }
 
 // NewManager returns an empty predicate manager.
 func NewManager() *Manager {
-	return &Manager{
-		byTxn:   make(map[page.TxnID][]*Predicate),
-		byNode:  make(map[page.PageID][]attachment),
-		nodesOf: make(map[*Predicate]map[page.PageID]bool),
+	m := &Manager{
+		byTxn: make(map[page.TxnID][]*Predicate),
+		reg:   stats.NewRegistry(),
 	}
+	m.checks = m.reg.Counter("predicate.checks")
+	m.predsExamined = m.reg.Counter("predicate.preds_examined")
+	m.contended = m.reg.Counter("predicate.shard_contention")
+	m.reg.Gauge("predicate.shards", func() int64 { return numShards })
+	for i := range m.shards {
+		m.shards[i].byNode = make(map[page.PageID][]attachment)
+		m.shards[i].contended = m.contended
+	}
+	return m
+}
+
+// Metrics exposes the manager's counter registry.
+func (m *Manager) Metrics() *stats.Registry { return m.reg }
+
+func (m *Manager) shardOf(node page.PageID) *predShard {
+	h := (uint64(node) + 1) * 0x9E3779B97F4A7C15
+	return &m.shards[(h>>32)%numShards]
 }
 
 // New registers a predicate for owner. The predicate is not yet attached to
 // any node.
 func (m *Manager) New(owner page.TxnID, kind Kind, data []byte) *Predicate {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.nextID++
-	p := &Predicate{ID: m.nextID, Owner: owner, Kind: kind, Data: data}
+	p := &Predicate{
+		ID:    m.nextID.Add(1),
+		Owner: owner,
+		Kind:  kind,
+		Data:  data,
+		nodes: make(map[page.PageID]bool),
+	}
+	m.ownersMu.Lock()
 	m.byTxn[owner] = append(m.byTxn[owner], p)
-	m.nodesOf[p] = make(map[page.PageID]bool)
+	m.ownersMu.Unlock()
 	return p
 }
 
@@ -99,47 +153,53 @@ func (m *Manager) New(owner page.TxnID, kind Kind, data []byte) *Predicate {
 // for which conflicts reports true — the FIFO fairness rule: a newcomer
 // must wait behind conflicting predicates already in the list.
 func (m *Manager) Attach(p *Predicate, node page.PageID, conflicts func(other *Predicate) bool) []*Predicate {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.nodesOf[p] == nil {
+	s := m.shardOf(node)
+	s.lock()
+	p.mu.Lock()
+	if p.released {
 		// Predicate was released concurrently; nothing to attach.
+		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil
 	}
-	if !m.nodesOf[p][node] {
-		m.nextSeq++
-		seq := m.nextSeq
+	if !p.nodes[node] {
+		seq := m.nextSeq.Add(1)
 		if p.seq == 0 {
 			p.seq = seq
 		}
-		m.byNode[node] = append(m.byNode[node], attachment{pred: p, seq: seq})
-		m.nodesOf[p][node] = true
+		s.byNode[node] = append(s.byNode[node], attachment{pred: p, seq: seq})
+		p.nodes[node] = true
 	}
+	p.mu.Unlock()
 	if conflicts == nil {
+		s.mu.Unlock()
 		return nil
 	}
 	var ahead []*Predicate
-	m.checks.Add(1)
-	for _, a := range m.byNode[node] {
+	m.checks.Inc()
+	for _, a := range s.byNode[node] {
 		if a.pred == p {
 			break
 		}
 		if a.pred.Owner == p.Owner {
 			continue
 		}
-		m.predsExamined.Add(1)
+		m.predsExamined.Inc()
 		if conflicts(a.pred) {
 			ahead = append(ahead, a.pred)
 		}
 	}
+	s.mu.Unlock()
 	return ahead
 }
 
 // AttachedTo returns the predicates attached to node in FIFO order.
 func (m *Manager) AttachedTo(node page.PageID) []*Predicate {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]*Predicate, 0, len(m.byNode[node]))
-	for _, a := range m.byNode[node] {
+	s := m.shardOf(node)
+	s.lock()
+	defer s.mu.Unlock()
+	out := make([]*Predicate, 0, len(s.byNode[node]))
+	for _, a := range s.byNode[node] {
 		out = append(out, a.pred)
 	}
 	return out
@@ -150,15 +210,16 @@ func (m *Manager) AttachedTo(node page.PageID) []*Predicate {
 // operation's target-leaf check (§4.3 step 6). The counters feeding
 // experiment E9 are updated.
 func (m *Manager) Conflicting(node page.PageID, self page.TxnID, conflicts func(*Predicate) bool) []*Predicate {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.checks.Add(1)
+	s := m.shardOf(node)
+	s.lock()
+	defer s.mu.Unlock()
+	m.checks.Inc()
 	var out []*Predicate
-	for _, a := range m.byNode[node] {
+	for _, a := range s.byNode[node] {
 		if a.pred.Owner == self {
 			continue
 		}
-		m.predsExamined.Add(1)
+		m.predsExamined.Inc()
 		if conflicts(a.pred) {
 			out = append(out, a.pred)
 		}
@@ -170,16 +231,16 @@ func (m *Manager) Conflicting(node page.PageID, self page.TxnID, conflicts func(
 // check of pure predicate locking (§4.2), implemented only as the baseline
 // for experiment E9.
 func (m *Manager) ConflictingGlobal(self page.TxnID, conflicts func(*Predicate) bool) []*Predicate {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.checks.Add(1)
+	m.ownersMu.Lock()
+	defer m.ownersMu.Unlock()
+	m.checks.Inc()
 	var out []*Predicate
 	for _, preds := range m.byTxn {
 		for _, p := range preds {
 			if p.Owner == self {
 				continue
 			}
-			m.predsExamined.Add(1)
+			m.predsExamined.Inc()
 			if conflicts(p) {
 				out = append(out, p)
 			}
@@ -192,23 +253,60 @@ func (m *Manager) ConflictingGlobal(self page.TxnID, conflicts func(*Predicate) 
 // orig for which applies reports true (its predicate is consistent with the
 // new node's BP) — maintaining the invariant that a search predicate
 // consistent with a node's BP is attached to that node (§4.3, case 1).
+// When the two nodes hash to different shards, both shard mutexes are held
+// for the duration, taken in index order.
 func (m *Manager) ReplicateOnSplit(orig, sibling page.PageID, applies func(*Predicate) bool) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	so, ss := m.shardOf(orig), m.shardOf(sibling)
+	m.lockPair(so, ss)
+	defer m.unlockPair(so, ss)
 	n := 0
-	for _, a := range m.byNode[orig] {
+	for _, a := range so.byNode[orig] {
 		if applies != nil && !applies(a.pred) {
 			continue
 		}
-		if m.nodesOf[a.pred][sibling] {
+		a.pred.mu.Lock()
+		if a.pred.released || a.pred.nodes[sibling] {
+			a.pred.mu.Unlock()
 			continue
 		}
-		m.nextSeq++
-		m.byNode[sibling] = append(m.byNode[sibling], attachment{pred: a.pred, seq: m.nextSeq})
-		m.nodesOf[a.pred][sibling] = true
+		ss.byNode[sibling] = append(ss.byNode[sibling], attachment{pred: a.pred, seq: m.nextSeq.Add(1)})
+		a.pred.nodes[sibling] = true
+		a.pred.mu.Unlock()
 		n++
 	}
 	return n
+}
+
+// lockPair acquires the two shards' mutexes in index order (once if equal).
+func (m *Manager) lockPair(a, b *predShard) {
+	ai := m.shardIndex(a)
+	bi := m.shardIndex(b)
+	switch {
+	case ai == bi:
+		a.lock()
+	case ai < bi:
+		a.lock()
+		b.lock()
+	default:
+		b.lock()
+		a.lock()
+	}
+}
+
+func (m *Manager) unlockPair(a, b *predShard) {
+	a.mu.Unlock()
+	if a != b {
+		b.mu.Unlock()
+	}
+}
+
+func (m *Manager) shardIndex(s *predShard) int {
+	for i := range m.shards {
+		if &m.shards[i] == s {
+			return i
+		}
+	}
+	return 0
 }
 
 // Percolate copies predicates attached to parent down to child when the
@@ -223,25 +321,32 @@ func (m *Manager) Percolate(parent, child page.PageID, applies func(*Predicate) 
 
 // Detach removes p from a single node.
 func (m *Manager) Detach(p *Predicate, node page.PageID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.detachLocked(p, node)
-}
-
-func (m *Manager) detachLocked(p *Predicate, node page.PageID) {
-	if !m.nodesOf[p][node] {
+	s := m.shardOf(node)
+	s.lock()
+	p.mu.Lock()
+	if !p.nodes[node] {
+		p.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
-	delete(m.nodesOf[p], node)
-	as := m.byNode[node]
+	delete(p.nodes, node)
+	p.mu.Unlock()
+	removeAttachmentLocked(s, node, p)
+	s.mu.Unlock()
+}
+
+// removeAttachmentLocked drops p's attachment from node's list (shard mutex
+// held).
+func removeAttachmentLocked(s *predShard, node page.PageID, p *Predicate) {
+	as := s.byNode[node]
 	for i, a := range as {
 		if a.pred == p {
-			m.byNode[node] = append(as[:i], as[i+1:]...)
+			s.byNode[node] = append(as[:i], as[i+1:]...)
 			break
 		}
 	}
-	if len(m.byNode[node]) == 0 {
-		delete(m.byNode, node)
+	if len(s.byNode[node]) == 0 {
+		delete(s.byNode, node)
 	}
 }
 
@@ -249,25 +354,27 @@ func (m *Manager) detachLocked(p *Predicate, node page.PageID) {
 // transient "=key" predicates of unique insertion once the insert finishes,
 // §8).
 func (m *Manager) Release(p *Predicate) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.releaseLocked(p)
-}
-
-func (m *Manager) releaseLocked(p *Predicate) {
-	for node := range m.nodesOf[p] {
-		as := m.byNode[node]
-		for i, a := range as {
-			if a.pred == p {
-				m.byNode[node] = append(as[:i], as[i+1:]...)
-				break
-			}
-		}
-		if len(m.byNode[node]) == 0 {
-			delete(m.byNode, node)
-		}
+	p.mu.Lock()
+	if p.released {
+		p.mu.Unlock()
+		return
 	}
-	delete(m.nodesOf, p)
+	p.released = true
+	nodes := make([]page.PageID, 0, len(p.nodes))
+	for node := range p.nodes {
+		nodes = append(nodes, node)
+	}
+	p.nodes = make(map[page.PageID]bool)
+	p.mu.Unlock()
+
+	for _, node := range nodes {
+		s := m.shardOf(node)
+		s.lock()
+		removeAttachmentLocked(s, node, p)
+		s.mu.Unlock()
+	}
+
+	m.ownersMu.Lock()
 	preds := m.byTxn[p.Owner]
 	for i, q := range preds {
 		if q == p {
@@ -278,44 +385,48 @@ func (m *Manager) releaseLocked(p *Predicate) {
 	if len(m.byTxn[p.Owner]) == 0 {
 		delete(m.byTxn, p.Owner)
 	}
+	m.ownersMu.Unlock()
 }
 
 // ReleaseTxn removes every predicate owned by txn and all their node
 // attachments; called when the owner transaction terminates (predicates
 // live until end of transaction, §4.3).
 func (m *Manager) ReleaseTxn(txn page.TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.ownersMu.Lock()
 	preds := append([]*Predicate(nil), m.byTxn[txn]...)
+	m.ownersMu.Unlock()
 	for _, p := range preds {
-		m.releaseLocked(p)
+		m.Release(p)
 	}
 }
 
 // DropNode removes every attachment at a node being deleted from the tree.
 // The predicates themselves survive on their other attachments.
 func (m *Manager) DropNode(node page.PageID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, a := range m.byNode[node] {
-		delete(m.nodesOf[a.pred], node)
+	s := m.shardOf(node)
+	s.lock()
+	for _, a := range s.byNode[node] {
+		a.pred.mu.Lock()
+		delete(a.pred.nodes, node)
+		a.pred.mu.Unlock()
 	}
-	delete(m.byNode, node)
+	delete(s.byNode, node)
+	s.mu.Unlock()
 }
 
 // PredicatesOf returns the predicates registered by txn.
 func (m *Manager) PredicatesOf(txn page.TxnID) []*Predicate {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.ownersMu.Lock()
+	defer m.ownersMu.Unlock()
 	return append([]*Predicate(nil), m.byTxn[txn]...)
 }
 
 // NodesOf returns the nodes p is attached to.
 func (m *Manager) NodesOf(p *Predicate) []page.PageID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]page.PageID, 0, len(m.nodesOf[p]))
-	for n := range m.nodesOf[p] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]page.PageID, 0, len(p.nodes))
+	for n := range p.nodes {
 		out = append(out, n)
 	}
 	return out
@@ -323,19 +434,25 @@ func (m *Manager) NodesOf(p *Predicate) []page.PageID {
 
 // Counts returns the total number of live predicates and attachments.
 func (m *Manager) Counts() (preds, attachments int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.ownersMu.Lock()
 	for _, ps := range m.byTxn {
 		preds += len(ps)
 	}
-	for _, as := range m.byNode {
-		attachments += len(as)
+	m.ownersMu.Unlock()
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.lock()
+		for _, as := range s.byNode {
+			attachments += len(as)
+		}
+		s.mu.Unlock()
 	}
 	return preds, attachments
 }
 
 // Stats returns the number of conflict checks performed and the cumulative
-// number of predicates examined by them (experiment E9's metric).
+// number of predicates examined by them (experiment E9's metric), read
+// through the stats registry.
 func (m *Manager) Stats() (checks, predsExamined int64) {
 	return m.checks.Load(), m.predsExamined.Load()
 }

@@ -1,0 +1,145 @@
+// Package stats is a small lock-free metrics registry shared by the engine's
+// subsystems. Each manager (buffer pool, lock manager, predicate manager,
+// WAL, transaction manager, disk managers) creates its counters in its own
+// Registry at construction time and keeps the returned *Counter pointers in
+// struct fields, so the hot-path increment is a single atomic add with no
+// map lookup and no mutex. Snapshots merge any number of registries into one
+// uniform map keyed by dotted metric names ("buffer.hits", "lock.waits"),
+// which is what cmd/gistbench and the facade's Stats read.
+//
+// Registration (Counter, Gauge) takes a mutex but happens only at
+// construction; lookups and snapshots read a copy-on-write map and never
+// block an increment.
+package stats
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a cumulative atomic counter. The struct is padded to a cache
+// line so that hot counters created together do not false-share.
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store sets the counter (used by ResetStats-style test helpers).
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
+// GaugeFunc computes a point-in-time value at snapshot time.
+type GaugeFunc func() int64
+
+// Registry is a named set of counters and gauges.
+type Registry struct {
+	mu       sync.Mutex // guards registration only
+	counters atomic.Pointer[map[string]*Counter]
+	gauges   atomic.Pointer[map[string]GaugeFunc]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	c := make(map[string]*Counter)
+	g := make(map[string]GaugeFunc)
+	r.counters.Store(&c)
+	r.gauges.Store(&g)
+	return r
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+// The returned pointer is stable for the life of the registry; callers cache
+// it in a struct field and increment it lock-free.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := (*r.counters.Load())[name]; ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.counters.Load()
+	if c, ok := old[name]; ok {
+		return c
+	}
+	next := make(map[string]*Counter, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	c := &Counter{}
+	next[name] = c
+	r.counters.Store(&next)
+	return c
+}
+
+// Gauge registers fn to be evaluated at snapshot time under name.
+func (r *Registry) Gauge(name string, fn GaugeFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.gauges.Load()
+	next := make(map[string]GaugeFunc, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = fn
+	r.gauges.Store(&next)
+}
+
+// Value returns the current value of the named counter or gauge, or 0 if
+// nothing is registered under name.
+func (r *Registry) Value(name string) int64 {
+	if c, ok := (*r.counters.Load())[name]; ok {
+		return c.Load()
+	}
+	if g, ok := (*r.gauges.Load())[name]; ok {
+		return g()
+	}
+	return 0
+}
+
+// CollectInto merges the registry's current values into out.
+func (r *Registry) CollectInto(out map[string]int64) {
+	for name, c := range *r.counters.Load() {
+		out[name] = c.Load()
+	}
+	for name, g := range *r.gauges.Load() {
+		out[name] = g()
+	}
+}
+
+// Snapshot returns the registry's current values as a fresh map.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	r.CollectInto(out)
+	return out
+}
+
+// Merged snapshots several registries into one uniform map. Later registries
+// win on (unexpected) name collisions.
+func Merged(regs ...*Registry) map[string]int64 {
+	out := make(map[string]int64)
+	for _, r := range regs {
+		if r != nil {
+			r.CollectInto(out)
+		}
+	}
+	return out
+}
+
+// Names returns the sorted metric names of a snapshot, for stable printing.
+func Names(snapshot map[string]int64) []string {
+	names := make([]string, 0, len(snapshot))
+	for n := range snapshot {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

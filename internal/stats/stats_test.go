@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterRegistration(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.hits")
+	c.Add(3)
+	c.Inc()
+	if got := r.Value("x.hits"); got != 4 {
+		t.Errorf("Value = %d, want 4", got)
+	}
+	if r.Counter("x.hits") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	c.Store(0)
+	if got := r.Value("x.hits"); got != 0 {
+		t.Errorf("after Store(0): %d", got)
+	}
+	if got := r.Value("missing"); got != 0 {
+		t.Errorf("missing metric = %d, want 0", got)
+	}
+}
+
+func TestGaugeAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	v := int64(7)
+	r.Gauge("g", func() int64 { return v })
+	snap := r.Snapshot()
+	if snap["a"] != 1 || snap["g"] != 7 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	v = 9
+	if got := r.Value("g"); got != 9 {
+		t.Errorf("gauge re-read = %d, want 9", got)
+	}
+}
+
+func TestMergedAndNames(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("one").Add(1)
+	b.Counter("two").Add(2)
+	m := Merged(a, nil, b)
+	if m["one"] != 1 || m["two"] != 2 || len(m) != 2 {
+		t.Errorf("merged = %v", m)
+	}
+	names := Names(m)
+	if len(names) != 2 || names[0] != "one" || names[1] != "two" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestConcurrentRegistrationAndIncrement(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			names := []string{"shared", "a", "b", "c"}
+			for i := 0; i < 1000; i++ {
+				r.Counter(names[i%len(names)]).Inc()
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total int64
+	for _, v := range snap {
+		total += v
+	}
+	if total != 8*1000 {
+		t.Errorf("total increments = %d, want 8000 (%v)", total, snap)
+	}
+}

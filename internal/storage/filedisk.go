@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/page"
+	"repro/internal/stats"
 )
 
 // FileDisk is a page store backed by a single operating-system file.
@@ -25,8 +26,9 @@ type FileDisk struct {
 	free []page.PageID
 	live map[page.PageID]bool
 
-	reads  int64
-	writes int64
+	reg    *stats.Registry
+	reads  *stats.Counter
+	writes *stats.Counter
 }
 
 const fileMagic = 0x47695354 // "GiST"
@@ -38,6 +40,9 @@ func OpenFileDisk(path string) (*FileDisk, error) {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
 	d := &FileDisk{f: f, next: 1, live: make(map[page.PageID]bool)}
+	d.reg = stats.NewRegistry()
+	d.reads = d.reg.Counter("disk.reads")
+	d.writes = d.reg.Counter("disk.writes")
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -137,8 +142,8 @@ func (d *FileDisk) Deallocate(id page.PageID) error {
 func (d *FileDisk) ReadPage(id page.PageID, buf []byte) error {
 	d.mu.Lock()
 	live := d.live[id]
-	d.reads++
 	d.mu.Unlock()
+	d.reads.Inc()
 	if !live {
 		return fmt.Errorf("%w: %d", ErrNoSuchPage, id)
 	}
@@ -152,8 +157,8 @@ func (d *FileDisk) ReadPage(id page.PageID, buf []byte) error {
 func (d *FileDisk) WritePage(id page.PageID, buf []byte) error {
 	d.mu.Lock()
 	live := d.live[id]
-	d.writes++
 	d.mu.Unlock()
+	d.writes.Inc()
 	if !live {
 		return fmt.Errorf("%w: %d", ErrNoSuchPage, id)
 	}
@@ -170,12 +175,14 @@ func (d *FileDisk) NumAllocated() int {
 	return len(d.live)
 }
 
-// Stats returns cumulative read and write counts.
+// Stats returns cumulative read and write counts, read through the stats
+// registry.
 func (d *FileDisk) Stats() (reads, writes int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.reads, d.writes
+	return d.reads.Load(), d.writes.Load()
 }
+
+// Metrics exposes the store's counter registry.
+func (d *FileDisk) Metrics() *stats.Registry { return d.reg }
 
 // Sync implements Manager: persists the allocation metadata and fsyncs.
 func (d *FileDisk) Sync() error {

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/page"
+	"repro/internal/stats"
 )
 
 // ErrNoSuchPage is returned when reading a page that was never allocated.
@@ -46,6 +47,26 @@ type Manager interface {
 	Close() error
 }
 
+// MetricsOf returns the stats registry of the concrete store underneath m,
+// unwrapping the fault-injection wrappers (SlowDisk, CrashDisk), or nil for
+// an unknown implementation.
+func MetricsOf(m Manager) *stats.Registry {
+	for {
+		switch d := m.(type) {
+		case *MemDisk:
+			return d.reg
+		case *FileDisk:
+			return d.reg
+		case *SlowDisk:
+			m = d.Manager
+		case *CrashDisk:
+			m = d.Manager
+		default:
+			return nil
+		}
+	}
+}
+
 // MemDisk is an in-memory page store. It is safe for concurrent use.
 type MemDisk struct {
 	mu    sync.Mutex
@@ -53,14 +74,22 @@ type MemDisk struct {
 	free  []page.PageID
 	next  page.PageID
 
-	reads  int64
-	writes int64
+	reg    *stats.Registry
+	reads  *stats.Counter
+	writes *stats.Counter
 }
 
 // NewMemDisk returns an empty in-memory page store.
 func NewMemDisk() *MemDisk {
-	return &MemDisk{pages: make(map[page.PageID][]byte), next: 1}
+	m := &MemDisk{pages: make(map[page.PageID][]byte), next: 1}
+	m.reg = stats.NewRegistry()
+	m.reads = m.reg.Counter("disk.reads")
+	m.writes = m.reg.Counter("disk.writes")
+	return m
 }
+
+// Metrics exposes the store's counter registry.
+func (m *MemDisk) Metrics() *stats.Registry { return m.reg }
 
 // Allocate implements Manager.
 func (m *MemDisk) Allocate() (page.PageID, error) {
@@ -98,7 +127,7 @@ func (m *MemDisk) ReadPage(id page.PageID, buf []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchPage, id)
 	}
-	m.reads++
+	m.reads.Inc()
 	copy(buf, src)
 	return nil
 }
@@ -111,7 +140,7 @@ func (m *MemDisk) WritePage(id page.PageID, buf []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchPage, id)
 	}
-	m.writes++
+	m.writes.Inc()
 	copy(dst, buf)
 	return nil
 }
@@ -123,11 +152,10 @@ func (m *MemDisk) NumAllocated() int {
 	return len(m.pages)
 }
 
-// Stats returns cumulative read and write counts.
+// Stats returns cumulative read and write counts, read through the stats
+// registry.
 func (m *MemDisk) Stats() (reads, writes int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.reads, m.writes
+	return m.reads.Load(), m.writes.Load()
 }
 
 // Sync implements Manager; a no-op for memory.
@@ -142,6 +170,9 @@ func (m *MemDisk) Snapshot() *MemDisk {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := &MemDisk{pages: make(map[page.PageID][]byte, len(m.pages)), next: m.next}
+	s.reg = stats.NewRegistry()
+	s.reads = s.reg.Counter("disk.reads")
+	s.writes = s.reg.Counter("disk.writes")
 	s.free = append(s.free, m.free...)
 	for id, b := range m.pages {
 		cp := make([]byte, page.Size)

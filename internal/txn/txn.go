@@ -20,6 +20,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/page"
 	"repro/internal/predicate"
+	"repro/internal/stats"
 	"repro/internal/wal"
 )
 
@@ -77,21 +78,34 @@ type Manager struct {
 	nextID  atomic.Uint64
 	undoers map[wal.RecType]UndoFunc
 
-	commits atomic.Int64
-	aborts  atomic.Int64
+	reg     *stats.Registry
+	commits *stats.Counter
+	aborts  *stats.Counter
 }
 
 // NewManager creates a transaction manager over the given log, lock manager
 // and predicate manager.
 func NewManager(log *wal.Log, locks *lock.Manager, preds *predicate.Manager) *Manager {
-	return &Manager{
+	m := &Manager{
 		log:     log,
 		locks:   locks,
 		preds:   preds,
 		active:  make(map[page.TxnID]*Txn),
 		undoers: make(map[wal.RecType]UndoFunc),
+		reg:     stats.NewRegistry(),
 	}
+	m.commits = m.reg.Counter("txn.commits")
+	m.aborts = m.reg.Counter("txn.aborts")
+	m.reg.Gauge("txn.active", func() int64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return int64(len(m.active))
+	})
+	return m
 }
+
+// Metrics exposes the manager's counter registry.
+func (m *Manager) Metrics() *stats.Registry { return m.reg }
 
 // RegisterUndo installs the undo handler for a record type. Subsystems call
 // this once at initialization.
@@ -212,7 +226,8 @@ func (m *Manager) Checkpoint(dpt map[page.PageID]page.LSN) (page.LSN, error) {
 	return lsn, m.log.FlushTo(lsn)
 }
 
-// Stats returns the numbers of committed and aborted transactions.
+// Stats returns the numbers of committed and aborted transactions, read
+// through the stats registry.
 func (m *Manager) Stats() (commits, aborts int64) {
 	return m.commits.Load(), m.aborts.Load()
 }
@@ -444,7 +459,7 @@ func (tx *Txn) Commit() error {
 	tx.release()
 	tx.Log(&wal.Record{Type: wal.RecEnd})
 	tx.mgr.finish(tx)
-	tx.mgr.commits.Add(1)
+	tx.mgr.commits.Inc()
 	return nil
 }
 
@@ -467,7 +482,7 @@ func (tx *Txn) Abort() error {
 	tx.release()
 	tx.Log(&wal.Record{Type: wal.RecEnd})
 	tx.mgr.finish(tx)
-	tx.mgr.aborts.Add(1)
+	tx.mgr.aborts.Inc()
 	return nil
 }
 

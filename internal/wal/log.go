@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/page"
+	"repro/internal/stats"
 )
 
 // ErrNoSuchLSN is returned by Get for an LSN outside the log.
@@ -28,11 +29,13 @@ type Log struct {
 	base     page.LSN  // LSNs 1..base have been discarded (head truncation)
 	records  []*Record // records[i] has LSN base+i+1
 	flushed  page.LSN  // highest LSN durable in the file
-	file     *os.File  // nil for a purely in-memory log
-	pending  []byte    // encoded-but-unflushed suffix
-	syncs    int64     // number of physical flushes (group commit metric)
-	appends  int64
+	file     *os.File // nil for a purely in-memory log
+	pending  []byte   // encoded-but-unflushed suffix
 	masterCk page.LSN // LSN of the most recent checkpoint record
+
+	reg     *stats.Registry
+	appends *stats.Counter
+	syncs   *stats.Counter // physical flushes (group commit metric)
 
 	// Group commit: a flush in progress covers all appends before it;
 	// concurrent committers wait for the in-flight flush instead of
@@ -46,8 +49,20 @@ type Log struct {
 func NewMemLog() *Log {
 	l := &Log{}
 	l.flushCond = sync.NewCond(&l.mu)
+	l.initStats()
 	return l
 }
+
+// initStats wires the log's counters into its registry; every constructor
+// path (NewMemLog, OpenFileLog, SurvivingLog, TruncatedCopy) runs it.
+func (l *Log) initStats() {
+	l.reg = stats.NewRegistry()
+	l.appends = l.reg.Counter("wal.appends")
+	l.syncs = l.reg.Counter("wal.syncs")
+}
+
+// Metrics exposes the log's counter registry.
+func (l *Log) Metrics() *stats.Registry { return l.reg }
 
 // fileHeader is the 8-byte magic prefix of a log file.
 var fileHeader = []byte("GiSTWAL1")
@@ -62,6 +77,7 @@ func OpenFileLog(path string) (*Log, error) {
 	}
 	l := &Log{file: f}
 	l.flushCond = sync.NewCond(&l.mu)
+	l.initStats()
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -145,7 +161,7 @@ func (l *Log) Append(r *Record) page.LSN {
 	defer l.mu.Unlock()
 	r.LSN = l.base + page.LSN(len(l.records)+1)
 	l.records = append(l.records, r)
-	l.appends++
+	l.appends.Inc()
 	if r.Type == RecCheckpoint {
 		l.masterCk = r.LSN
 	}
@@ -219,7 +235,7 @@ func (l *Log) FlushTo(lsn page.LSN) error {
 	} else {
 		l.flushed = lsn
 	}
-	l.syncs++
+	l.syncs.Inc()
 	return nil
 }
 
@@ -267,11 +283,10 @@ func (l *Log) MasterCheckpoint() page.LSN {
 	return l.masterCk
 }
 
-// Stats returns the number of appends and physical flushes.
+// Stats returns the number of appends and physical flushes, read through
+// the stats registry.
 func (l *Log) Stats() (appends, syncs int64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.appends, l.syncs
+	return l.appends.Load(), l.syncs.Load()
 }
 
 // TruncatedCopy returns a new in-memory log holding only records with
