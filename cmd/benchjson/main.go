@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` text output (plus an optional
+// gistbench metrics snapshot) into one machine-readable JSON document, so CI
+// can archive a BENCH_wal.json per commit and the perf trajectory of the WAL
+// pipeline stays trackable without scraping logs.
+//
+// Usage:
+//
+//	go test -bench BenchmarkWAL ./internal/wal/ | tee bench.txt
+//	gistbench -exp metrics -json > metrics.json
+//	benchjson -bench bench.txt -metrics metrics.json > BENCH_wal.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"` // the -cpu value of the run
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Extra      map[string]float64 `json:"extra,omitempty"` // custom b.ReportMetric values
+}
+
+type document struct {
+	Benchmarks []benchResult    `json:"benchmarks"`
+	Metrics    map[string]int64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	benchPath := flag.String("bench", "", "file with `go test -bench` output (default stdin)")
+	metricsPath := flag.String("metrics", "", "optional gistbench -exp metrics -json snapshot to embed")
+	flag.Parse()
+
+	in := os.Stdin
+	if *benchPath != "" {
+		f, err := os.Open(*benchPath)
+		fatalIf(err)
+		defer f.Close()
+		in = f
+	}
+
+	var doc document
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		if r, ok := parseBenchLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	fatalIf(sc.Err())
+
+	if *metricsPath != "" {
+		raw, err := os.ReadFile(*metricsPath)
+		fatalIf(err)
+		fatalIf(json.Unmarshal(raw, &doc.Metrics))
+	}
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	fatalIf(err)
+	fmt.Println(string(out))
+}
+
+// parseBenchLine parses one standard benchmark result line:
+//
+//	BenchmarkWALAppend-16   964159   962.5 ns/op   24.00 fsyncs
+//
+// The suffix after the last '-' is the GOMAXPROCS of the run (absent for
+// -cpu 1). Fields after ns/op come in value-unit pairs from b.ReportMetric.
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r.Iterations = iters
+	// Remaining fields are value-unit pairs; ns/op is required.
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		if fields[i+1] == "ns/op" {
+			r.NsPerOp = v
+			seenNs = true
+			continue
+		}
+		if r.Extra == nil {
+			r.Extra = make(map[string]float64)
+		}
+		r.Extra[fields[i+1]] = v
+	}
+	return r, seenNs
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -39,13 +40,16 @@ var (
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per throughput cell")
 	iolatFlag   = flag.Duration("iolat", 200*time.Microsecond, "simulated I/O latency per page access")
 	poolFlag    = flag.Int("pool", 64, "buffer pool pages for the protocol comparison")
+	jsonFlag    = flag.Bool("json", false, "emit machine-readable JSON (metrics experiment only)")
 )
 
 func main() {
 	flag.Parse()
 	run := func(name string, fn func()) {
 		if *expFlag == "all" || *expFlag == name {
-			fmt.Printf("\n================ experiment: %s ================\n", name)
+			if !*jsonFlag {
+				fmt.Printf("\n================ experiment: %s ================\n", name)
+			}
 			fn()
 		}
 	}
@@ -86,6 +90,14 @@ func expMetrics() {
 	must(tx.Abort())
 
 	m := db.Metrics()
+	if *jsonFlag {
+		// Machine-readable path for CI trend tracking: just the merged
+		// snapshot, keys sorted, nothing else on stdout.
+		out, err := json.MarshalIndent(m, "", "  ")
+		must(err)
+		fmt.Println(string(out))
+		return
+	}
 	fmt.Println("unified metrics snapshot (name = value):")
 	for _, name := range stats.Names(m) {
 		fmt.Printf("  %-28s %d\n", name, m[name])

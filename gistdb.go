@@ -433,7 +433,10 @@ func (db *DB) Metrics() map[string]int64 {
 	)
 }
 
-// Close flushes everything and closes the database cleanly.
+// Close flushes everything and closes the database cleanly. Order matters:
+// the pool's FlushAll runs WAL-rule forces through the log's group-commit
+// flusher, so the log may be Closed (stopping that goroutine) only after
+// the pool is done; log.Close then flushes its own tail synchronously.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/latch"
 	"repro/internal/page"
+	"repro/internal/shards"
 	"repro/internal/stats"
 	"repro/internal/storage"
 )
@@ -42,9 +43,9 @@ const (
 	stateWriting
 )
 
-// maxShards bounds the page-table partitioning; small pools get fewer
-// shards (at least four frames each) so eviction behavior stays sane.
-const maxShards = 16
+// The page-table shard ceiling adapts to GOMAXPROCS (see package shards);
+// small pools still get fewer shards (at least eight frames each) so
+// eviction behavior stays sane. The buffer.shards gauge reports the choice.
 
 // Frame is a buffer-pool frame holding one page. The embedded latch is the
 // node latch the tree operations acquire; it protects the page content, not
@@ -71,15 +72,29 @@ func (f *Frame) ID() page.PageID { return f.id }
 
 // LogFlusher is the WAL dependency of the pool: FlushTo must make the log
 // durable up to and including the given LSN before a dirty page with that
-// pageLSN may be written to disk.
+// pageLSN may be written to disk. FlushedLSN reports the current durable
+// watermark; it must be cheap (the pipelined WAL serves it from a single
+// atomic load), because the pool consults it on every dirty write-back to
+// skip the FlushTo call when the WAL rule is already satisfied.
 type LogFlusher interface {
 	FlushTo(page.LSN) error
+	FlushedLSN() page.LSN
 }
 
 // nopFlusher is used when the pool runs without a WAL (plain index usage).
 type nopFlusher struct{}
 
 func (nopFlusher) FlushTo(page.LSN) error { return nil }
+func (nopFlusher) FlushedLSN() page.LSN   { return ^page.LSN(0) }
+
+// flushFor applies the WAL rule for a page with the given pageLSN: a no-op
+// when the durable watermark already covers it.
+func (p *Pool) flushFor(pageLSN page.LSN) error {
+	if pageLSN <= p.wal.FlushedLSN() {
+		return nil
+	}
+	return p.wal.FlushTo(pageLSN)
+}
 
 // shard is one partition of the page table with its own frames and clock.
 type shard struct {
@@ -125,6 +140,7 @@ func New(disk storage.Manager, capacity int, wal LogFlusher) *Pool {
 	if wal == nil {
 		wal = nopFlusher{}
 	}
+	maxShards := shards.Count(0)
 	nshards := 1
 	for nshards < maxShards && nshards*8 <= capacity {
 		nshards <<= 1
@@ -310,7 +326,7 @@ func (p *Pool) writeBackLocked(s *shard, f *Frame) (ok bool, err error) {
 	copy(img, f.Page.Bytes())
 	s.mu.Unlock()
 
-	werr := p.wal.FlushTo(pageLSN)
+	werr := p.flushFor(pageLSN)
 	if werr == nil {
 		werr = p.disk.WritePage(oldID, img)
 	}
@@ -526,7 +542,7 @@ func (p *Pool) FlushPage(id page.PageID) error {
 	lsn := f.Page.LSN()
 	f.Latch.Release(latch.S)
 
-	err := p.wal.FlushTo(lsn)
+	err := p.flushFor(lsn)
 	if err == nil {
 		err = p.disk.WritePage(id, img)
 	}

@@ -26,6 +26,10 @@ func (r *recordingFlusher) FlushTo(l page.LSN) error {
 	return nil
 }
 
+// FlushedLSN reports nothing durable, so the pool's fast path never skips
+// FlushTo and the recorder observes every WAL-rule flush.
+func (r *recordingFlusher) FlushedLSN() page.LSN { return 0 }
+
 func newPoolDisk(t *testing.T, capacity int) (*Pool, *storage.MemDisk) {
 	t.Helper()
 	d := storage.NewMemDisk()

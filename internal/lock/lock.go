@@ -25,8 +25,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/page"
+	"repro/internal/shards"
 	"repro/internal/stats"
 )
 
@@ -113,8 +115,14 @@ type lockList struct {
 	queue   []*waiter
 }
 
-// numStripes partitions the lock table and the held-lock sets.
-const numStripes = 16
+// detectGrace is how long a blocked request waits to be granted before it
+// pays for a full waits-for-graph detection pass. Most conflicts are
+// released within microseconds (a latch-length record lock, a signaling
+// lock during a short drain), so the stripe-by-stripe snapshot would be
+// pure overhead for them; a real deadlock is stable and loses only the
+// grace period. Requests granted within the grace are counted in
+// lock.detect_skips. A variable so tests can widen or collapse the window.
+var detectGrace = time.Millisecond
 
 // stripe is one partition of the lock table.
 type stripe struct {
@@ -159,8 +167,8 @@ type heldStripe struct {
 
 // Manager is the lock manager. The zero value is not usable; call NewManager.
 type Manager struct {
-	stripes     [numStripes]stripe
-	heldStripes [numStripes]heldStripe
+	stripes     []stripe
+	heldStripes []heldStripe
 
 	// detectorMu serializes deadlock detection (slow path only).
 	detectorMu sync.Mutex
@@ -170,16 +178,22 @@ type Manager struct {
 	waits        *stats.Counter
 	deadlocks    *stats.Counter
 	contended    *stats.Counter
+	detectSkips  *stats.Counter
 }
 
-// NewManager returns an empty lock manager.
+// NewManager returns an empty lock manager. The stripe count adapts to
+// GOMAXPROCS (see package shards) and is surfaced by the lock.stripes gauge.
 func NewManager() *Manager {
 	m := &Manager{reg: stats.NewRegistry()}
+	n := shards.Count(0)
+	m.stripes = make([]stripe, n)
+	m.heldStripes = make([]heldStripe, n)
 	m.acquisitions = m.reg.Counter("lock.acquisitions")
 	m.waits = m.reg.Counter("lock.waits")
 	m.deadlocks = m.reg.Counter("lock.deadlocks")
 	m.contended = m.reg.Counter("lock.stripe_contention")
-	m.reg.Gauge("lock.stripes", func() int64 { return numStripes })
+	m.detectSkips = m.reg.Counter("lock.detect_skips")
+	m.reg.Gauge("lock.stripes", func() int64 { return int64(len(m.stripes)) })
 	for i := range m.stripes {
 		m.stripes[i].table = make(map[Name]*lockList)
 		m.stripes[i].contended = m.contended
@@ -195,12 +209,12 @@ func (m *Manager) Metrics() *stats.Registry { return m.reg }
 
 func (m *Manager) stripeOf(n Name) *stripe {
 	h := (n.Key + uint64(n.Space)<<56 + 1) * 0x9E3779B97F4A7C15
-	return &m.stripes[(h>>32)%numStripes]
+	return &m.stripes[(h>>32)%uint64(len(m.stripes))]
 }
 
 func (m *Manager) heldStripeOf(txn page.TxnID) *heldStripe {
 	h := (uint64(txn) + 1) * 0x9E3779B97F4A7C15
-	return &m.heldStripes[(h>>32)%numStripes]
+	return &m.heldStripes[(h>>32)%uint64(len(m.heldStripes))]
 }
 
 // noteHeld records that txn holds n in mode. Callers may hold n's stripe
@@ -297,9 +311,23 @@ func (m *Manager) Lock(txn page.TxnID, n Name, mode Mode) error {
 // mutex is held on entry and released before the deadlock check and the
 // wait itself, so detection never blocks the grant/release fast path on
 // other stripes.
+//
+// A short grace wait runs before the first (and only) detection pass:
+// briefly-held conflicts resolve within it and never pay the
+// stripe-by-stripe waits-for snapshot. A genuine deadlock is stable, so
+// delaying its detection by the grace period costs latency, not
+// correctness.
 func (m *Manager) block(st *stripe, ll *lockList, w *waiter, n Name) error {
 	m.waits.Inc()
 	st.mu.Unlock()
+	grace := time.NewTimer(detectGrace)
+	select {
+	case err := <-w.done:
+		grace.Stop()
+		m.detectSkips.Inc()
+		return err
+	case <-grace.C:
+	}
 	if m.detectDeadlock(w.txn) {
 		st.lock()
 		removed := removeWaiterLocked(ll, w)

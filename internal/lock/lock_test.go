@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/page"
+	"repro/internal/shards"
 )
 
 func TestGrantAndReentrancy(t *testing.T) {
@@ -334,5 +335,47 @@ func TestNameStrings(t *testing.T) {
 	}
 	if S.String() != "S" || X.String() != "X" {
 		t.Error("mode strings")
+	}
+}
+
+// TestDetectGraceSkipsBrieflyHeldConflicts verifies the deadlock-detection
+// back-off: a conflict released within the grace window is granted without
+// ever paying a waits-for-graph pass, and the skip is counted.
+func TestDetectGraceSkipsBrieflyHeldConflicts(t *testing.T) {
+	old := detectGrace
+	detectGrace = time.Second // wide window: scheduling noise cannot expire it
+	defer func() { detectGrace = old }()
+	m := NewManager()
+	n := ForRID(page.RID{Page: 1, Slot: 1})
+	if err := m.Lock(1, n, X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(2, n, X) }()
+	// Wait until txn 2 is enqueued, then release well inside the grace
+	// window so it is granted before the detector would run.
+	for m.Metrics().Snapshot()["lock.waits"] == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	m.Unlock(1, n)
+	if err := <-done; err != nil {
+		t.Fatalf("briefly-blocked lock failed: %v", err)
+	}
+	snap := m.Metrics().Snapshot()
+	if got := snap["lock.detect_skips"]; got != 1 {
+		t.Errorf("lock.detect_skips = %d, want 1", got)
+	}
+	if got := snap["lock.waits"]; got != 1 {
+		t.Errorf("lock.waits = %d, want 1", got)
+	}
+}
+
+// TestStripesGaugeMatchesAdaptiveCount verifies the stripe count is the
+// GOMAXPROCS-derived value from package shards, not a hard-coded constant.
+func TestStripesGaugeMatchesAdaptiveCount(t *testing.T) {
+	m := NewManager()
+	want := int64(shards.Count(0))
+	if got := m.Metrics().Snapshot()["lock.stripes"]; got != want {
+		t.Errorf("lock.stripes gauge = %d, want %d", got, want)
 	}
 }

@@ -419,8 +419,14 @@ func (p *Page) ResurrectSlot(i int, body []byte) error {
 	if i < 0 || i >= p.NumSlots() || !p.SlotDead(i) {
 		return ErrBadSlot
 	}
-	if p.FreeSpace()+slotSize < len(body) { // slot already exists, no slotSize cost
-		if p.FreeSpaceAfterCompaction()+slotSize < len(body) {
+	// The slot already exists, so only the gap between the directory and
+	// freeEnd must hold the body. The gap is computed unclamped: FreeSpace()
+	// floors at zero, which on a page packed with tiny bodies (gap < slotSize)
+	// would overstate the room and let the copy below overwrite the tail of
+	// the slot directory.
+	gap := int(p.u16(offFreeEnd)) - HeaderSize - p.NumSlots()*slotSize
+	if gap < len(body) {
+		if gap+int(p.u16(offGarbage)) < len(body) {
 			return ErrPageFull
 		}
 		p.Compact()

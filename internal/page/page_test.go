@@ -645,3 +645,91 @@ func TestSetLevel(t *testing.T) {
 		t.Errorf("level = %d", p.Level())
 	}
 }
+
+// checkSlotBounds fails the test if any live slot points outside the page or
+// into the slot directory — the corruption ResurrectSlot could cause on a
+// packed page before the unclamped-gap guard.
+func checkSlotBounds(t *testing.T, p *Page) {
+	t.Helper()
+	dirEnd := HeaderSize + p.NumSlots()*slotSize
+	for i := 0; i < p.NumSlots(); i++ {
+		off, length := p.slot(i)
+		if length == 0 {
+			continue
+		}
+		if int(off) < dirEnd || int(off)+int(length) > Size {
+			t.Fatalf("slot %d: body [%d,%d) escapes [dirEnd=%d, %d)",
+				i, off, int(off)+int(length), dirEnd, Size)
+		}
+	}
+}
+
+// packPage fills a fresh heap-style page with 1-byte bodies until InsertBytes
+// reports full, leaving a directory-to-freeEnd gap smaller than slotSize.
+func packPage(t *testing.T) *Page {
+	t.Helper()
+	p := New(9, 0)
+	for {
+		if _, err := p.InsertBytes([]byte{0xEE}); err != nil {
+			if err != ErrPageFull {
+				t.Fatalf("InsertBytes: %v", err)
+			}
+			break
+		}
+	}
+	gap := int(p.u16(offFreeEnd)) - HeaderSize - p.NumSlots()*slotSize
+	if gap < 0 || gap >= slotSize {
+		t.Fatalf("packed page gap = %d, want 0..%d", gap, slotSize-1)
+	}
+	return p
+}
+
+// Regression: on a packed page (gap between slot directory and bodies smaller
+// than slotSize) FreeSpace() floors at zero, and ResurrectSlot used to take
+// that as "slotSize bytes available", writing a small body over the tail of
+// the slot directory. The heap triggers exactly this with 1-byte records whose
+// insert was rolled back (dead slot) on a full page.
+func TestResurrectSlotPackedPageNoDirectoryOverwrite(t *testing.T) {
+	p := packPage(t)
+	gap := int(p.u16(offFreeEnd)) - HeaderSize - p.NumSlots()*slotSize
+
+	// One dead slot, garbage = 1 byte.
+	if err := p.KillSlot(0); err != nil {
+		t.Fatalf("KillSlot: %v", err)
+	}
+
+	// Body needs compaction (gap < len <= gap+garbage): must succeed via
+	// Compact, not by overwriting the directory.
+	body := bytes.Repeat([]byte{0x77}, gap+1)
+	if err := p.ResurrectSlot(0, body); err != nil {
+		t.Fatalf("ResurrectSlot(len=%d): %v", len(body), err)
+	}
+	checkSlotBounds(t, p)
+	got, err := p.SlotBytes(0)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("SlotBytes(0) = %x, %v; want %x", got, err, body)
+	}
+	// Every other body must have survived the compaction.
+	for i := 1; i < p.NumSlots(); i++ {
+		b, err := p.SlotBytes(i)
+		if err != nil || len(b) != 1 || b[0] != 0xEE {
+			t.Fatalf("slot %d = %x, %v after compact", i, b, err)
+		}
+	}
+	p.Compact() // must not panic on a sane directory
+}
+
+// Regression companion: when even compaction cannot make room
+// (len > gap+garbage), ResurrectSlot must refuse instead of corrupting.
+func TestResurrectSlotPackedPageRefusesOversized(t *testing.T) {
+	p := packPage(t)
+	gap := int(p.u16(offFreeEnd)) - HeaderSize - p.NumSlots()*slotSize
+	if err := p.KillSlot(0); err != nil {
+		t.Fatalf("KillSlot: %v", err)
+	}
+	body := bytes.Repeat([]byte{0x77}, gap+2) // garbage is only 1 byte
+	if err := p.ResurrectSlot(0, body); err != ErrPageFull {
+		t.Fatalf("ResurrectSlot(len=%d) = %v, want ErrPageFull", len(body), err)
+	}
+	checkSlotBounds(t, p)
+}

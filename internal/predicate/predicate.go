@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/page"
+	"repro/internal/shards"
 	"repro/internal/stats"
 )
 
@@ -74,8 +75,8 @@ type attachment struct {
 	seq  uint64
 }
 
-// numShards partitions the per-node attachment lists.
-const numShards = 16
+// Shard count adapts to GOMAXPROCS (see package shards) and is surfaced
+// by the predicate.shards gauge.
 
 // predShard is one partition of the byNode attachment table.
 type predShard struct {
@@ -94,7 +95,7 @@ func (s *predShard) lock() {
 
 // Manager tracks predicates and their node attachments.
 type Manager struct {
-	shards  [numShards]predShard
+	shards  []predShard
 	nextID  atomic.Uint64
 	nextSeq atomic.Uint64
 
@@ -116,7 +117,8 @@ func NewManager() *Manager {
 	m.checks = m.reg.Counter("predicate.checks")
 	m.predsExamined = m.reg.Counter("predicate.preds_examined")
 	m.contended = m.reg.Counter("predicate.shard_contention")
-	m.reg.Gauge("predicate.shards", func() int64 { return numShards })
+	m.reg.Gauge("predicate.shards", func() int64 { return int64(len(m.shards)) })
+	m.shards = make([]predShard, shards.Count(0))
 	for i := range m.shards {
 		m.shards[i].byNode = make(map[page.PageID][]attachment)
 		m.shards[i].contended = m.contended
@@ -129,7 +131,7 @@ func (m *Manager) Metrics() *stats.Registry { return m.reg }
 
 func (m *Manager) shardOf(node page.PageID) *predShard {
 	h := (uint64(node) + 1) * 0x9E3779B97F4A7C15
-	return &m.shards[(h>>32)%numShards]
+	return &m.shards[(h>>32)%uint64(len(m.shards))]
 }
 
 // New registers a predicate for owner. The predicate is not yet attached to

@@ -1,0 +1,50 @@
+// Package shards picks partition counts for the engine's hash-sharded
+// managers (buffer-pool page table, lock stripes, predicate attachment
+// shards, WAL staging buffers). The count is derived from GOMAXPROCS at
+// construction time rather than hard-coded, so a 64-way box gets enough
+// stripes to keep unrelated operations from colliding while a small
+// container does not pay for empty partitions.
+package shards
+
+import "runtime"
+
+// Floor and ceiling for Count. The floor keeps cross-shard code paths
+// (frame stealing, two-stripe lock ops, split replication) exercised even
+// on single-CPU machines; the ceiling bounds per-manager footprint.
+const (
+	minShards = 4
+	maxShards = 64
+)
+
+// Count returns the partition count for a sharded manager: the smallest
+// power of two at or above twice GOMAXPROCS (2x over-provisioning keeps
+// collision probability low when goroutines outnumber CPUs), clamped to
+// [4, 64] and additionally to limit when limit > 0.
+func Count(limit int) int {
+	n := ceilPow2(2 * runtime.GOMAXPROCS(0))
+	if n < minShards {
+		n = minShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	if limit > 0 && n > limit {
+		n = ceilPow2(limit)
+		if n > limit {
+			n >>= 1
+		}
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
+}
+
+// ceilPow2 returns the smallest power of two >= v (v <= 1 gives 1).
+func ceilPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}

@@ -1,0 +1,43 @@
+package shards
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestCountIsPowerOfTwoInRange(t *testing.T) {
+	n := Count(0)
+	if n < minShards || n > maxShards {
+		t.Errorf("Count(0) = %d, outside [%d, %d]", n, minShards, maxShards)
+	}
+	if n&(n-1) != 0 {
+		t.Errorf("Count(0) = %d, not a power of two", n)
+	}
+	if want := ceilPow2(2 * runtime.GOMAXPROCS(0)); n != want && want >= minShards && want <= maxShards {
+		t.Errorf("Count(0) = %d, want %d for GOMAXPROCS=%d", n, want, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestCountRespectsLimit(t *testing.T) {
+	for _, limit := range []int{1, 2, 3, 8, 100} {
+		n := Count(limit)
+		if n > limit {
+			t.Errorf("Count(%d) = %d exceeds limit", limit, n)
+		}
+		if n&(n-1) != 0 {
+			t.Errorf("Count(%d) = %d, not a power of two", limit, n)
+		}
+		if n < 1 {
+			t.Errorf("Count(%d) = %d", limit, n)
+		}
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 16: 16, 17: 32}
+	for in, want := range cases {
+		if got := ceilPow2(in); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

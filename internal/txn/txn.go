@@ -78,9 +78,10 @@ type Manager struct {
 	nextID  atomic.Uint64
 	undoers map[wal.RecType]UndoFunc
 
-	reg     *stats.Registry
-	commits *stats.Counter
-	aborts  *stats.Counter
+	reg          *stats.Registry
+	commits      *stats.Counter
+	aborts       *stats.Counter
+	commitForces *stats.Counter
 }
 
 // NewManager creates a transaction manager over the given log, lock manager
@@ -96,6 +97,9 @@ func NewManager(log *wal.Log, locks *lock.Manager, preds *predicate.Manager) *Ma
 	}
 	m.commits = m.reg.Counter("txn.commits")
 	m.aborts = m.reg.Counter("txn.aborts")
+	// Paired with wal.syncs: commit_forces / syncs is the group-commit
+	// batching factor the E15 experiment tracks.
+	m.commitForces = m.reg.Counter("txn.commit_forces")
 	m.reg.Gauge("txn.active", func() int64 {
 		m.mu.Lock()
 		defer m.mu.Unlock()
@@ -452,7 +456,11 @@ func (tx *Txn) Commit() error {
 	tx.state = Committed
 	tx.mu.Unlock()
 
+	// The commit force point: FlushTo parks this committer on the WAL's
+	// group-commit queue, so concurrent committers share fsyncs instead of
+	// each paying one.
 	lsn := tx.Log(&wal.Record{Type: wal.RecCommit})
+	tx.mgr.commitForces.Inc()
 	if err := tx.mgr.log.FlushTo(lsn); err != nil {
 		return fmt.Errorf("txn %d commit force: %w", tx.id, err)
 	}

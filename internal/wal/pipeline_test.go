@@ -1,0 +1,361 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/page"
+)
+
+// faultFile wraps an *os.File so tests can inject write, sync, and truncate
+// failures into the flush path. The flags are atomics because the flusher
+// goroutine exercises them concurrently with the test body.
+type faultFile struct {
+	*os.File
+	failWrite    atomic.Bool
+	partialWrite atomic.Bool // write half the bytes, then fail
+	failSync     atomic.Bool
+	failTruncate atomic.Bool
+}
+
+var errInjected = errors.New("injected fault")
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.partialWrite.Load() {
+		f.partialWrite.Store(false)
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, fmt.Errorf("short: %w", errInjected)
+	}
+	if f.failWrite.Load() {
+		return 0, errInjected
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.failSync.Load() {
+		return errInjected
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Truncate(n int64) error {
+	if f.failTruncate.Load() {
+		return errInjected
+	}
+	return f.File.Truncate(n)
+}
+
+func openFaultLog(t *testing.T) (*Log, *faultFile, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fault.log")
+	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := &faultFile{File: osf}
+	l, err := openFileLog(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, ff, path
+}
+
+// TestFlushToWriteErrorRestages covers the FlushTo error path that used to
+// lose records: a failed batch write must keep the drained frames flushable
+// (re-staged), never advance the durable watermark past them, and let a
+// later flush deliver them to disk exactly once.
+func TestFlushToWriteErrorRestages(t *testing.T) {
+	l, ff, path := openFaultLog(t)
+	lsn1 := l.Append(&Record{Type: RecBegin, Txn: 1})
+	l.Append(&Record{Type: RecAddLeafEntry, Txn: 1, Pg: 7, Body: []byte("k")})
+
+	ff.failWrite.Store(true)
+	if err := l.FlushTo(lsn1); err == nil {
+		t.Fatal("FlushTo succeeded through a failing disk")
+	}
+	if got := l.FlushedLSN(); got != 0 {
+		t.Fatalf("FlushedLSN = %d after failed write, want 0", got)
+	}
+
+	// The write error is transient (re-staged, not sticky): healing the
+	// disk must let the same records reach it.
+	ff.failWrite.Store(false)
+	lsn3 := l.Append(&Record{Type: RecCommit, Txn: 1})
+	if err := l.FlushTo(lsn3); err != nil {
+		t.Fatalf("FlushTo after heal: %v", err)
+	}
+	if got := l.FlushedLSN(); got != lsn3 {
+		t.Fatalf("FlushedLSN = %d, want %d", got, lsn3)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 3 {
+		t.Fatalf("recovered LastLSN = %d, want 3 (no record lost or duplicated)", l2.LastLSN())
+	}
+	for lsn := page.LSN(1); lsn <= 3; lsn++ {
+		if _, err := l2.Get(lsn); err != nil {
+			t.Errorf("record %d lost across failed write: %v", lsn, err)
+		}
+	}
+}
+
+// TestFlushToPartialWriteTruncated: a short write leaves a torn suffix on
+// disk; the retry must not duplicate the partial bytes.
+func TestFlushToPartialWriteTruncated(t *testing.T) {
+	l, ff, path := openFaultLog(t)
+	l.Append(&Record{Type: RecBegin, Txn: 1})
+	lsn2 := l.Append(&Record{Type: RecAddLeafEntry, Txn: 1, Pg: 3, Body: []byte("payload")})
+
+	ff.partialWrite.Store(true)
+	if err := l.FlushTo(lsn2); err == nil {
+		t.Fatal("FlushTo succeeded through a short write")
+	}
+	if err := l.FlushTo(lsn2); err != nil {
+		t.Fatalf("retry after short write: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 2 {
+		t.Fatalf("recovered LastLSN = %d, want 2", l2.LastLSN())
+	}
+	r, err := l2.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Body) != "payload" {
+		t.Errorf("record 2 body = %q", r.Body)
+	}
+}
+
+// TestFlushToSyncErrorFailsPermanently: after a failed fsync the kernel's
+// dirty state is unknowable, so the log must refuse all further durability
+// claims with the sticky ErrLogFailed.
+func TestFlushToSyncErrorFailsPermanently(t *testing.T) {
+	l, ff, _ := openFaultLog(t)
+	lsn := l.Append(&Record{Type: RecBegin, Txn: 1})
+
+	ff.failSync.Store(true)
+	if err := l.FlushTo(lsn); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("FlushTo after fsync failure = %v, want ErrLogFailed", err)
+	}
+
+	// Healing the disk must NOT resurrect the log: durability already
+	// claimed to callers can no longer be trusted.
+	ff.failSync.Store(false)
+	lsn2 := l.Append(&Record{Type: RecCommit, Txn: 1})
+	if err := l.FlushTo(lsn2); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("FlushTo after heal = %v, want sticky ErrLogFailed", err)
+	}
+	if got := l.FlushedLSN(); got != 0 {
+		t.Errorf("FlushedLSN = %d advanced past a failed fsync", got)
+	}
+}
+
+// TestFlushToTruncateErrorFailsPermanently: if the cleanup truncate after a
+// failed write also fails, a torn suffix may remain on disk ahead of the
+// re-staged frames, so the log must fail permanently rather than risk
+// writing duplicates after the tear.
+func TestFlushToTruncateErrorFailsPermanently(t *testing.T) {
+	l, ff, _ := openFaultLog(t)
+	lsn := l.Append(&Record{Type: RecBegin, Txn: 1})
+	ff.partialWrite.Store(true)
+	ff.failTruncate.Store(true)
+	if err := l.FlushTo(lsn); err == nil {
+		t.Fatal("FlushTo succeeded through failing write+truncate")
+	}
+	ff.failTruncate.Store(false)
+	if err := l.FlushTo(lsn); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("FlushTo = %v, want sticky ErrLogFailed", err)
+	}
+}
+
+// TestTornTailMidBatchConcurrentAppenders models a crash that tears the
+// tail of a batch written while many appenders were staging concurrently:
+// recovery must keep exactly the contiguous prefix of whole records and
+// accept new appends after it.
+func TestTornTailMidBatchConcurrentAppenders(t *testing.T) {
+	const goroutines, each = 8, 100
+	path := filepath.Join(t.TempDir(), "torn.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id page.TxnID) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				lsn := l.Append(&Record{Type: RecAddLeafEntry, Txn: id, Pg: 11, Body: []byte("concurrent-batch-payload")})
+				if i%25 == 0 {
+					if err := l.FlushTo(lsn); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(page.TxnID(g + 1))
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail at several mid-record offsets and recover each time.
+	for _, cut := range []int64{3, 9, 17} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, st.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := OpenFileLog(path)
+		if err != nil {
+			t.Fatalf("recovery after %d-byte tear: %v", cut, err)
+		}
+		last := l2.LastLSN()
+		if last == 0 || last >= goroutines*each {
+			t.Fatalf("recovered LastLSN = %d after tear, want a proper prefix of %d", last, goroutines*each)
+		}
+		// The prefix must be contiguous and fully readable.
+		n := 0
+		l2.Scan(1, func(r *Record) bool {
+			n++
+			return true
+		})
+		if page.LSN(n) != last {
+			t.Fatalf("scan saw %d records, want %d", n, last)
+		}
+		// And the log must keep working past the recovered prefix.
+		if lsn := l2.Append(&Record{Type: RecEnd, Txn: 1}); lsn != last+1 {
+			t.Fatalf("append after recovery got LSN %d, want %d", lsn, last+1)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashSimNothingPastFlushedSurvives asserts the crash-simulation
+// contract on the in-memory log while appenders are still running: the
+// surviving log holds exactly the records at or below the flushed
+// watermark the moment the "crash" hit — nothing later leaks through.
+func TestCrashSimNothingPastFlushedSurvives(t *testing.T) {
+	l := NewMemLog()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id page.TxnID) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lsn := l.Append(&Record{Type: RecAddLeafEntry, Txn: id, Pg: 1})
+				if i%50 == 0 {
+					l.FlushTo(lsn)
+				}
+			}
+		}(page.TxnID(g + 1))
+	}
+	for i := 0; i < 20; i++ {
+		l.FlushTo(l.LastLSN())
+		flushedBefore := l.FlushedLSN()
+		s := l.SurvivingLog()
+		flushedAfter := l.FlushedLSN()
+		last := s.LastLSN()
+		if last < flushedBefore || last > flushedAfter {
+			t.Fatalf("survivor LastLSN = %d, want within flushed range [%d, %d]", last, flushedBefore, flushedAfter)
+		}
+		if s.FlushedLSN() != last {
+			t.Fatalf("survivor FlushedLSN = %d, want %d", s.FlushedLSN(), last)
+		}
+		if _, err := s.Get(last + 1); err == nil {
+			t.Fatalf("record %d past the flushed watermark survived the crash", last+1)
+		}
+		if last > 0 {
+			if _, err := s.Get(last); err != nil {
+				t.Fatalf("flushed record %d did not survive: %v", last, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestNSNVisibilityInvariant exercises the §10.1 contract the pipeline must
+// preserve: a split stamps its node's NSN with the LSN Append returned, so
+// any traversal that first observes a stamped NSN and then reads LastLSN
+// must see LastLSN >= NSN — even while the split's record is still being
+// staged. A violation would make traversals skip rightlink chases and miss
+// entries moved by concurrent splits.
+func TestNSNVisibilityInvariant(t *testing.T) {
+	l := NewMemLog()
+	var nodeNSN atomic.Uint64 // the NSN field of a simulated tree node
+	stop := make(chan struct{})
+	var splitters, readers sync.WaitGroup
+
+	// Splitters: append a Split record, then stamp the node — the order
+	// the real split code uses.
+	for g := 0; g < 2; g++ {
+		splitters.Add(1)
+		go func(id page.TxnID) {
+			defer splitters.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lsn := l.Append(&Record{Type: RecSplit, Txn: id, Pg: 2})
+				nodeNSN.Store(uint64(lsn))
+			}
+		}(page.TxnID(g + 1))
+	}
+
+	// Traversals: read the node's NSN first, the global counter second.
+	var violations atomic.Int64
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200000; i++ {
+				nsn := page.LSN(nodeNSN.Load())
+				if l.LastLSN() < nsn {
+					violations.Add(1)
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	splitters.Wait()
+
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("NSN visibility violated %d times: LastLSN read below an observable NSN", n)
+	}
+}
