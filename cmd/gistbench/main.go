@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/btree"
 	"repro/internal/buffer"
+	"repro/internal/crashfuzz"
 	"repro/internal/predicate"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -34,13 +37,15 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, all")
+	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, crashfuzz, all")
 	threadsFlag = flag.String("threads", "1,2,4,8,16", "goroutine counts for throughput experiments")
 	keysFlag    = flag.Int("keys", 20000, "working-set size for throughput experiments")
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per throughput cell")
 	iolatFlag   = flag.Duration("iolat", 200*time.Microsecond, "simulated I/O latency per page access")
 	poolFlag    = flag.Int("pool", 64, "buffer pool pages for the protocol comparison")
 	jsonFlag    = flag.Bool("json", false, "emit machine-readable JSON (metrics experiment only)")
+	seedsFlag   = flag.Int64("seeds", 60, "crashfuzz: number of randomized crash-point seeds to run")
+	seedFlag    = flag.Int64("seed", 0, "crashfuzz: replay one seed (as printed by a failure's repro line)")
 )
 
 func main() {
@@ -62,6 +67,96 @@ func main() {
 	run("gc", expGC)
 	run("isolation", expIsolation)
 	run("metrics", expMetrics)
+	run("crashfuzz", expCrashFuzz)
+}
+
+// expCrashFuzz runs the randomized crash-point recovery harness over a
+// range of seeds (or a single seed via -seed, for reproducing a failure).
+// Each seed derives a full scenario — crash budget, optional mid-recovery
+// second crash — deterministically, so a violation's repro line is just
+// its seed number.
+func expCrashFuzz() {
+	base, err := os.MkdirTemp("", "crashfuzz-*")
+	must(err)
+	defer os.RemoveAll(base)
+
+	calibDir := filepath.Join(base, "calib")
+	must(os.MkdirAll(calibDir, 0o755))
+	calib, err := crashfuzz.Calibrate(0, calibDir)
+	must(err)
+
+	var seeds []int64
+	if *seedFlag != 0 {
+		seeds = []int64{*seedFlag}
+	} else {
+		for s := int64(1); s <= *seedsFlag; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	fmt.Printf("calibrated workload: %d bytes; running %d seed(s)\n", calib, len(seeds))
+
+	type outcome struct {
+		res *crashfuzz.Result
+		err error
+	}
+	results := make([]outcome, len(seeds))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(seeds) {
+					return
+				}
+				dir := filepath.Join(base, fmt.Sprintf("seed%d", seeds[i]))
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					results[i] = outcome{nil, err}
+					continue
+				}
+				res, rerr := crashfuzz.RunSeed(seeds[i], dir, calib)
+				results[i] = outcome{res, rerr}
+				os.RemoveAll(dir)
+			}
+		}()
+	}
+	wg.Wait()
+
+	sites := map[string]int{}
+	tails := map[string]int{}
+	var second, restarts, violations int
+	for i, o := range results {
+		if o.err != nil {
+			violations++
+			fmt.Printf("\nVIOLATION seed %d: %v\n  repro: gistbench -exp crashfuzz -seed %d\n",
+				seeds[i], o.err, seeds[i])
+			continue
+		}
+		sites[o.res.CrashSite]++
+		tails[o.res.TailType]++
+		restarts += o.res.Restarts
+		if o.res.SecondCrash {
+			second++
+		}
+	}
+	fmt.Printf("\ncrash sites:")
+	for _, s := range []string{"wal", "pages", "dw", "explicit"} {
+		fmt.Printf("  %s=%d", s, sites[s])
+	}
+	fmt.Printf("\nsurvivor-log tail types: %d distinct\n", len(tails))
+	fmt.Printf("second crashes during recovery: %d\n", second)
+	fmt.Printf("total restarts validated: %d\n", restarts)
+	if violations > 0 {
+		fmt.Printf("\n%d VIOLATION(S) — see repro lines above\n", violations)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d seeds recovered cleanly\n", len(seeds)-violations)
 }
 
 // expMetrics runs a small mixed workload and dumps the unified stats

@@ -61,6 +61,23 @@ type Frame struct {
 	recLSN page.LSN // LSN of the first update since the page was last clean
 	refbit bool     // clock reference bit
 
+	// fixLSN is the WAL's durable watermark when the frame was last pinned
+	// from zero (or flushed clean while pinned). Any update a pin holder
+	// logs has an LSN strictly above it, so fixLSN+1 is a safe recLSN for
+	// a checkpoint that catches the frame mid-update: pinned (or freshly
+	// allocated) but with its first-dirtying LSN not yet recorded. Without
+	// this floor a fuzzy checkpoint's dirty page table can miss a page
+	// whose update is logged but whose dirty marking lands just after the
+	// snapshot, and restart redo then starts past the update and loses it.
+	fixLSN page.LSN
+
+	// mods counts dirtying events. FlushPage snapshots it before copying
+	// the image and may clear the dirty bit after its write only if no
+	// dirtying raced the unlatched I/O window — otherwise a concurrent
+	// update would be marked clean while present only in memory, and a
+	// later eviction would silently drop it.
+	mods uint64
+
 	// home is the shard whose mutex protects this frame's bookkeeping. It
 	// changes only when an unpinned frame is stolen by another shard, so
 	// it is stable for as long as the caller holds a pin.
@@ -214,9 +231,25 @@ func (p *Pool) FetchEx(id page.PageID) (*Frame, bool, error) {
 	for {
 		if f, ok := s.table[id]; ok {
 			f.pins++
+			if f.pins == 1 {
+				f.fixLSN = p.wal.FlushedLSN()
+			}
 			f.refbit = true
+			stale := false
 			for f.state == stateLoading || f.state == stateWriting {
 				s.cond.Wait()
+				// A loader whose disk read failed unmaps the frame; the
+				// wait must notice, or it would return a frame with no
+				// valid content (and a pin that makes a free frame look
+				// permanently busy).
+				if s.table[id] != f {
+					stale = true
+					break
+				}
+			}
+			if stale {
+				f.pins--
+				continue
 			}
 			// The pin taken above prevents the frame from being
 			// stolen for another page, so f.id is still id.
@@ -246,6 +279,7 @@ func (p *Pool) FetchEx(id page.PageID) (*Frame, bool, error) {
 		f.id = id
 		f.state = stateLoading
 		f.pins = 1
+		f.fixLSN = p.wal.FlushedLSN()
 		f.dirty = false
 		f.recLSN = 0
 		f.refbit = true
@@ -431,7 +465,7 @@ func (s *shard) victimLocked() *Frame {
 	for pass := 0; pass < 2*n; pass++ {
 		f := s.frames[s.hand]
 		s.hand = (s.hand + 1) % n
-		if f.state == stateFree {
+		if f.state == stateFree && f.pins == 0 {
 			return f
 		}
 		if f.state != stateReady || f.pins > 0 {
@@ -445,7 +479,7 @@ func (s *shard) victimLocked() *Frame {
 	}
 	// Last resort: any unpinned ready frame regardless of refbit.
 	for _, f := range s.frames {
-		if (f.state == stateReady && f.pins == 0) || f.state == stateFree {
+		if (f.state == stateReady || f.state == stateFree) && f.pins == 0 {
 			return f
 		}
 	}
@@ -480,6 +514,7 @@ func (p *Pool) NewPage(level uint16) (*Frame, error) {
 		f.id = id
 		f.state = stateReady
 		f.pins = 1
+		f.fixLSN = p.wal.FlushedLSN()
 		f.dirty = true
 		f.recLSN = 0
 		f.refbit = true
@@ -501,6 +536,7 @@ func (p *Pool) Unpin(f *Frame, dirty bool, updateLSN page.LSN) {
 			f.recLSN = updateLSN
 		}
 		f.dirty = true
+		f.mods++
 	}
 	f.pins--
 	if f.pins < 0 {
@@ -519,6 +555,7 @@ func (p *Pool) MarkDirty(f *Frame, updateLSN page.LSN) {
 		f.recLSN = updateLSN
 	}
 	f.dirty = true
+	f.mods++
 	s.mu.Unlock()
 }
 
@@ -533,6 +570,10 @@ func (p *Pool) FlushPage(id page.PageID) error {
 		return nil
 	}
 	f.pins++
+	if f.pins == 1 {
+		f.fixLSN = p.wal.FlushedLSN()
+	}
+	mods := f.mods
 	s.mu.Unlock()
 
 	// Shared latch so no concurrent modification tears the image.
@@ -548,7 +589,17 @@ func (p *Pool) FlushPage(id page.PageID) error {
 	}
 
 	s.lock()
-	if err == nil {
+	if err == nil && f.mods == mods {
+		// No dirtying raced the I/O: the written image is the current one.
+		// If f.mods moved, an update landed during (or after) the copy and
+		// the page must stay dirty — clearing the bit here would strand
+		// that update in memory, to be lost by the next clean eviction.
+		// The durable image also resets the conservative floor: anything a
+		// surviving pin holder logs from here on is above today's
+		// watermark. Without the refresh, a permanently pinned frame (the
+		// tree anchor) would pin every future checkpoint's redo point at
+		// its original fix-time LSN.
+		f.fixLSN = p.wal.FlushedLSN()
 		f.dirty = false
 		f.recLSN = 0
 	}
@@ -579,14 +630,30 @@ func (p *Pool) FlushAll() error {
 }
 
 // DirtyPages returns the (pageID, recLSN) of every dirty cached page — the
-// dirty page table recorded by fuzzy checkpoints.
+// dirty page table recorded by fuzzy checkpoints. Frames whose first-update
+// LSN is not yet known are reported conservatively at their pin-time floor:
+// a freshly allocated page whose creation record is still being written, or
+// a pinned clean frame whose holder may have logged an update without yet
+// marking the frame dirty. Restart redo starting at the floor re-reads a
+// few already-durable records (skipped by their page LSNs) but can never
+// start past a logged update.
 func (p *Pool) DirtyPages() map[page.PageID]page.LSN {
+	noWAL := p.wal.FlushedLSN() == ^page.LSN(0)
 	out := make(map[page.PageID]page.LSN)
 	for _, s := range p.shards {
 		s.lock()
 		for id, f := range s.table {
-			if f.dirty {
+			floor := f.fixLSN + 1
+			if noWAL {
+				floor = 0
+			}
+			switch {
+			case f.dirty && f.recLSN != 0:
 				out[id] = f.recLSN
+			case f.dirty:
+				out[id] = floor
+			case f.pins > 0 && f.state != stateFree:
+				out[id] = floor
 			}
 		}
 		s.mu.Unlock()

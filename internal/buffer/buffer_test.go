@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/latch"
@@ -423,5 +424,133 @@ func TestNewPageStealsDirtyVictim(t *testing.T) {
 	pg.CopyFrom(buf)
 	if got, err := pg.SlotBytes(0); err != nil || string(got) != "victim-content" {
 		t.Errorf("victim content = %q %v", got, err)
+	}
+}
+
+// blockingDisk stalls WritePage until released, so tests can race an
+// update against an in-flight flush.
+type blockingDisk struct {
+	storage.Manager
+	entered chan struct{} // signaled once when WritePage begins
+	release chan struct{} // WritePage waits here before writing
+	armed   bool
+}
+
+func (d *blockingDisk) WritePage(id page.PageID, buf []byte) error {
+	if d.armed {
+		d.armed = false
+		close(d.entered)
+		<-d.release
+	}
+	return d.Manager.WritePage(id, buf)
+}
+
+// TestFlushPageKeepsDirtyBitOnRacingUpdate pins the lost-dirty-bit fix:
+// FlushPage copies the page image, writes it, and must NOT clear the
+// dirty bit if an update landed between the copy and the write's
+// completion — that update exists only in memory and would be lost to the
+// next clean eviction.
+func TestFlushPageKeepsDirtyBitOnRacingUpdate(t *testing.T) {
+	bd := &blockingDisk{
+		Manager: storage.NewMemDisk(),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	p := New(bd, 4, nil)
+	f, err := p.NewPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	if _, err := f.Page.InsertBytes([]byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f, true, 5)
+
+	bd.armed = true
+	done := make(chan error, 1)
+	go func() { done <- p.FlushPage(id) }()
+	<-bd.entered
+
+	// The flush has copied the image and is stalled in WritePage. Land
+	// another update on the page.
+	g, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Latch.Acquire(latch.X)
+	if _, err := g.Page.InsertBytes([]byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	g.Latch.Release(latch.X)
+	p.Unpin(g, true, 9)
+
+	close(bd.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The racing update must keep the frame dirty (recLSN 5 is still the
+	// first unflushed update the checkpoint DPT needs to cover).
+	if got := p.DirtyPages(); got[id] != 5 {
+		t.Errorf("DirtyPages after raced flush = %v, want {%d:5}", got, id)
+	}
+}
+
+// levelFlusher reports a settable durable watermark, for exercising the
+// fixLSN conservative floor.
+type levelFlusher struct{ lsn atomic.Uint64 }
+
+func (l *levelFlusher) FlushTo(page.LSN) error { return nil }
+func (l *levelFlusher) FlushedLSN() page.LSN   { return page.LSN(l.lsn.Load()) }
+func (l *levelFlusher) set(v page.LSN)         { l.lsn.Store(uint64(v)) }
+
+// TestDirtyPagesPinnedFloor pins the checkpoint-DPT conservative floor: a
+// frame born dirty with no recLSN yet, and a clean frame held pinned by a
+// would-be updater, must both appear in DirtyPages at fixLSN+1 — the
+// durable watermark when the pin was taken, above which any update the
+// pin holder logs must land. Dropping either leaves a checkpoint's DPT
+// with a hole below its redo point.
+func TestDirtyPagesPinnedFloor(t *testing.T) {
+	fl := &levelFlusher{}
+	fl.set(7)
+	p := New(storage.NewMemDisk(), 4, fl)
+
+	// Born dirty, recLSN not yet assigned: reported at the floor.
+	f, err := p.NewPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	if got := p.DirtyPages(); got[id] != 8 {
+		t.Errorf("DirtyPages for fresh page = %v, want {%d:8}", got, id)
+	}
+
+	// First real update pins the true recLSN.
+	p.Unpin(f, true, 12)
+	if got := p.DirtyPages(); got[id] != 12 {
+		t.Errorf("DirtyPages after update = %v, want {%d:12}", got, id)
+	}
+
+	fl.set(12)
+	if err := p.FlushPage(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DirtyPages(); len(got) != 0 {
+		t.Errorf("DirtyPages after flush = %v, want empty", got)
+	}
+
+	// Clean but pinned: a checkpoint between this pin and the holder's
+	// MarkDirty must still cover the page, at the new watermark's floor.
+	fl.set(20)
+	g, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DirtyPages(); got[id] != 21 {
+		t.Errorf("DirtyPages for pinned-clean page = %v, want {%d:21}", got, id)
+	}
+	p.Unpin(g, false, 0)
+	if got := p.DirtyPages(); len(got) != 0 {
+		t.Errorf("DirtyPages after unpin = %v, want empty", got)
 	}
 }

@@ -1,0 +1,97 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// OracleFromLog replays a survivor log and returns the exact set of live
+// leaf entries (RID -> predicate) a correct restart must produce: for every
+// committed transaction, its inserted entries, minus inserts compensated by
+// savepoint rollback, minus entries whose delete-mark committed (with
+// compensated delete-marks re-added). Records of uncommitted transactions
+// contribute nothing — restart undoes them. In-order replay handles
+// cross-transaction chains (T1 commits an insert, T2 commits its delete)
+// for free.
+//
+// baseline supplies the entries already committed before the log's head
+// truncation point (checkpointing discards their history); nil means the
+// log is complete from LSN 1. The survivor records then mutate the
+// baseline forward.
+func OracleFromLog(l *wal.Log, baseline map[page.RID][]byte) map[page.RID][]byte {
+	committed := make(map[page.TxnID]bool)
+	l.Scan(1, func(r *wal.Record) bool {
+		if r.Type == wal.RecCommit {
+			committed[r.Txn] = true
+		}
+		return true
+	})
+	want := make(map[page.RID][]byte, len(baseline))
+	for rid, pred := range baseline {
+		want[rid] = append([]byte(nil), pred...)
+	}
+	l.Scan(1, func(r *wal.Record) bool {
+		if !committed[r.Txn] {
+			return true
+		}
+		e, err := page.DecodeEntry(r.Body, true)
+		if err != nil {
+			return true
+		}
+		switch r.Type {
+		case wal.RecAddLeafEntry:
+			want[e.RID] = append([]byte(nil), e.Pred...)
+		case wal.RecAddLeafEntry | wal.ClrFlag:
+			delete(want, e.RID)
+		case wal.RecMarkLeafEntry:
+			delete(want, e.RID)
+		case wal.RecMarkLeafEntry | wal.ClrFlag:
+			want[e.RID] = append([]byte(nil), e.Pred...)
+		}
+		return true
+	})
+	return want
+}
+
+// VerifyOracle compares the live entries of a structural report against the
+// oracle, both directions: a committed entry that is missing or mutated is
+// lost durability; an extra entry is a resurrected aborted/in-flight write.
+// It returns every discrepancy, bounded, as one error.
+func VerifyOracle(rep *Report, want map[page.RID][]byte) error {
+	var bad []string
+	for rid, pred := range want {
+		got, ok := rep.Live[rid]
+		switch {
+		case !ok:
+			bad = append(bad, fmt.Sprintf("committed entry %v (%q) lost", rid, pred))
+		case !bytes.Equal(got, pred):
+			bad = append(bad, fmt.Sprintf("entry %v predicate %q, want %q", rid, got, pred))
+		}
+	}
+	for rid, pred := range rep.Live {
+		if _, ok := want[rid]; !ok {
+			bad = append(bad, fmt.Sprintf("uncommitted entry %v (%q) survived restart", rid, pred))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	total := len(bad)
+	sort.Strings(bad)
+	if total > 20 {
+		bad = append(bad[:20], fmt.Sprintf("... and %d more", total-20))
+	}
+	return fmt.Errorf("oracle: %d violations:\n  %s", total, join(bad))
+}
+
+func join(ss []string) string {
+	out := ss[0]
+	for _, s := range ss[1:] {
+		out += "\n  " + s
+	}
+	return out
+}

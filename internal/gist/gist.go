@@ -194,6 +194,10 @@ func Create(pool *buffer.Pool, tm *txn.Manager, cfg Config) (*Tree, error) {
 	}
 	lsn := tx.Log(&wal.Record{Type: wal.RecGetPage, Pg: anchorF.ID(), Level: 0})
 	anchorF.Page.SetLSN(lsn)
+	// Each page's recLSN is its FIRST record (the allocation), not the
+	// Root-Change logged last: a checkpoint between them must not let
+	// restart redo start past the pages' formatting records.
+	pool.MarkDirty(anchorF, lsn)
 
 	rootF, err := pool.NewPage(0)
 	if err != nil {
@@ -201,6 +205,7 @@ func Create(pool *buffer.Pool, tm *txn.Manager, cfg Config) (*Tree, error) {
 	}
 	lsn = tx.Log(&wal.Record{Type: wal.RecGetPage, Pg: rootF.ID(), Level: 0})
 	rootF.Page.SetLSN(lsn)
+	pool.MarkDirty(rootF, lsn)
 
 	if _, err := anchorF.Page.InsertBytes(anchorBody(rootF.ID())); err != nil {
 		return nil, err

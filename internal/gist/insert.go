@@ -512,6 +512,10 @@ func (o *op) splitNode(f *buffer.Frame, stack []pathEntry) (*buffer.Frame, error
 	}
 	lsnGet := o.tx.Log(&wal.Record{Type: wal.RecGetPage, Pg: newF.ID(), Level: f.Page.Level()})
 	newF.Page.SetLSN(lsnGet)
+	// First record on the sibling: pin its recLSN here, not at the later
+	// Split-record MarkDirty, so a checkpoint's redo point never starts
+	// past the page's allocation.
+	t.pool.MarkDirty(newF, lsnGet)
 
 	n := f.Page.NumSlots()
 	preds := make([][]byte, n)
@@ -663,6 +667,11 @@ func (o *op) growRoot(f, newF *buffer.Frame) error {
 	o.latchPage(rootF, latch.X)
 	lsn := o.tx.Log(&wal.Record{Type: wal.RecGetPage, Pg: rootF.ID(), Level: f.Page.Level() + 1})
 	rootF.Page.SetLSN(lsn)
+	// recLSN must be the page's FIRST record, not the Root-Change the
+	// final unpin carries: a checkpoint between would otherwise tell
+	// restart redo to start past the Get-Page, leaving a never-flushed
+	// root unformatted while redo no-op-stamps later records onto it.
+	t.pool.MarkDirty(rootF, lsn)
 	for _, pair := range []struct {
 		bp    []byte
 		child page.PageID
@@ -790,6 +799,9 @@ func (o *op) writeParentUpdates(parentF *buffer.Frame, slot int, child page.Page
 			return fmt.Errorf("gist: tighten parent entry: %w", err)
 		}
 		parentF.Page.SetLSN(lsn)
+		// Mark per record: if the parent was clean, its recLSN must be
+		// this update's LSN, not the following add's.
+		o.t.pool.MarkDirty(parentF, lsn)
 	}
 	body := add.Encode(false)
 	lsn := o.tx.Log(&wal.Record{

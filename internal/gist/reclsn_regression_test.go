@@ -1,0 +1,55 @@
+package gist_test
+
+import (
+	"testing"
+
+	"repro/internal/gist"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// TestRecLSNNeverAboveFirstRecord pins the checkpoint-DPT recLSN family
+// of bugs: every page's reported recLSN must be at or below the LSN of
+// the first log record that touches the page. The broken pattern was a
+// multi-record pin (root grow, split, parent update) marking the frame
+// dirty only at the final Unpin, with the LAST record's LSN — so a
+// checkpoint taken in between told restart redo to start past the page's
+// formatting record, replaying later records onto an unformatted page.
+func TestRecLSNNeverAboveFirstRecord(t *testing.T) {
+	e := newEnv(t, gist.Config{MaxEntries: 4})
+	for i := 0; i < 60; i++ {
+		e.put(int64(i))
+	}
+
+	// The workload must have grown the root at least once beyond the
+	// initial Create, or the scenario under test never happened.
+	var rootChanges int
+	first := map[page.PageID]page.LSN{}
+	e.log.Scan(1, func(r *wal.Record) bool {
+		if r.Type == wal.RecRootChange {
+			rootChanges++
+		}
+		for _, pg := range []page.PageID{r.Pg, r.Pg2, r.RID.Page} {
+			if pg != 0 {
+				if _, ok := first[pg]; !ok {
+					first[pg] = r.LSN
+				}
+			}
+		}
+		return true
+	})
+	if rootChanges < 2 {
+		t.Fatalf("only %d root changes; workload too small to exercise growRoot", rootChanges)
+	}
+
+	for id, rec := range e.pool.DirtyPages() {
+		f, ok := first[id]
+		if !ok {
+			t.Errorf("dirty page %d has no log record at all", id)
+			continue
+		}
+		if rec > f {
+			t.Errorf("page %d recLSN %d above its first record %d: a checkpoint here would skip the page's formatting on redo", id, rec, f)
+		}
+	}
+}

@@ -32,11 +32,31 @@ type File struct {
 
 	mu    sync.Mutex
 	pages []page.PageID // pages owned by this heap, for insert placement
+
+	// pending holds slots killed by transactions that have not finished
+	// yet. Such a slot must not be resurrected for a new record: until the
+	// deleter's commit is durable its rollback — at runtime or as a restart
+	// loser — restores the old record into the slot, and a reuse in the
+	// meantime would leave two leaf entries claiming one RID. Entries are
+	// cleared by TxnFinished; a missed notification only delays reuse.
+	pending map[page.RID]page.TxnID
 }
 
 // New creates an empty heap file over pool.
 func New(pool *buffer.Pool) *File {
-	return &File{pool: pool}
+	return &File{pool: pool, pending: make(map[page.RID]page.TxnID)}
+}
+
+// TxnFinished releases the slots whose deletes were pinned by tx; its commit
+// or abort is complete, so they are free for reuse.
+func (h *File) TxnFinished(id page.TxnID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for rid, owner := range h.pending {
+		if owner == id {
+			delete(h.pending, rid)
+		}
+	}
 }
 
 // RegisterUndo installs the heap's runtime rollback handlers on the
@@ -116,8 +136,17 @@ func (h *File) tryInsert(tx *txn.Txn, id page.PageID, rec []byte) (page.RID, err
 		return page.RID{}, err
 	}
 	f.Latch.Acquire(latch.X)
+	// A slot with a pending delete may be reused only by the deleter
+	// itself: backward undo then kills the reuse before restoring the old
+	// record, so the order stays reversible.
+	reusable := func(slot int) bool {
+		h.mu.Lock()
+		owner, pend := h.pending[page.RID{Page: id, Slot: uint16(slot)}]
+		h.mu.Unlock()
+		return !pend || owner == tx.ID()
+	}
 	var slot int
-	if dead := f.Page.FindDeadSlot(); dead >= 0 && f.Page.FreeSpaceAfterCompaction()+4 >= len(rec) {
+	if dead := f.Page.FindDeadSlot(); dead >= 0 && reusable(dead) && f.Page.FreeSpaceAfterCompaction()+4 >= len(rec) {
 		if err := f.Page.ResurrectSlot(dead, rec); err != nil {
 			f.Latch.Release(latch.X)
 			h.pool.Unpin(f, false, 0)
@@ -183,6 +212,9 @@ func (h *File) Delete(tx *txn.Txn, rid page.RID) error {
 	f.Page.SetLSN(lsn)
 	f.Latch.Release(latch.X)
 	h.pool.Unpin(f, true, lsn)
+	h.mu.Lock()
+	h.pending[rid] = tx.ID()
+	h.mu.Unlock()
 	return nil
 }
 

@@ -1,0 +1,163 @@
+package recovery_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/gist"
+	"repro/internal/heap"
+	"repro/internal/lock"
+	"repro/internal/predicate"
+	"repro/internal/recovery"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// failFile wraps the WAL's backing file; once armed, fsync fails,
+// simulating the log device dying mid-recovery. The log treats a failed
+// write as transient (the batch is re-staged for retry) but a failed
+// fsync as fatal — the kernel's dirty state is unknowable afterwards —
+// so fsync is the fault that must trip the sticky ErrLogFailed.
+type failFile struct {
+	*os.File
+	fail atomic.Bool
+}
+
+var errInjected = errors.New("injected log-device failure")
+
+func (f *failFile) Sync() error {
+	if f.fail.Load() {
+		return errInjected
+	}
+	return f.File.Sync()
+}
+
+// TestCrashDuringUndoStickyLogFailure covers a crash during recovery
+// itself: the WAL device dies while restart undo is writing CLRs. The
+// sticky ErrLogFailed must surface from Recovery.Run, the log must stay
+// poisoned even after the device "heals" (no silent resumption on a
+// possibly-torn tail), and a third start from the durable prefix must
+// converge: committed keys present exactly once, the loser fully gone,
+// structural invariants intact.
+func TestCrashDuringUndoStickyLogFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+
+	openLog := func() (*wal.Log, *failFile) {
+		t.Helper()
+		osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ff := &failFile{File: osf}
+		l, err := wal.OpenFileLogHandle(ff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l, ff
+	}
+
+	newWorldOn := func(l *wal.Log, disk *storage.MemDisk) *world {
+		w := &world{
+			t:     t,
+			disk:  disk,
+			log:   l,
+			locks: lock.NewManager(),
+			preds: predicate.NewManager(),
+			cfg:   gist.Config{MaxEntries: 4, Ops: btree.Ops{}},
+		}
+		w.pool = buffer.New(w.disk, 512, l)
+		w.tm = txn.NewManager(l, w.locks, w.preds)
+		w.heap = heap.New(w.pool)
+		w.heap.RegisterUndo(w.tm)
+		return w
+	}
+
+	// Phase 1: a committed prefix plus an in-flight loser, all durable.
+	disk := storage.NewMemDisk()
+	l1, _ := openLog()
+	w := newWorldOn(l1, disk)
+	tree, err := gist.Create(w.pool, w.tm, w.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.tree = tree
+	w.anchor = tree.Anchor()
+	anchor := w.anchor
+	for i := 0; i < 10; i++ {
+		w.put(int64(i))
+	}
+	loser, _ := w.tm.Begin()
+	for i := 100; i < 110; i++ {
+		w.putIn(loser, int64(i))
+	}
+	if err := l1.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: restart with the log device armed to fail. Analysis and
+	// redo only read; the first log write is undo's CLR chain for the
+	// loser (or the end-of-restart checkpoint), and it must not succeed
+	// silently.
+	l2, ff2 := openLog()
+	w2 := newWorldOn(l2, disk)
+	w2.anchor = anchor
+	ff2.fail.Store(true)
+	rec := &recovery.Recovery{Log: l2, Pool: w2.pool, Disk: w2.disk, TM: w2.tm}
+	_, rerr := rec.Run(func() error {
+		tr, err := gist.Open(w2.pool, w2.tm, w2.cfg, w2.anchor)
+		if err != nil {
+			return err
+		}
+		w2.tree = tr
+		return nil
+	})
+	if rerr == nil {
+		t.Fatal("recovery succeeded through a dead log device")
+	}
+	if !errors.Is(rerr, wal.ErrLogFailed) && !errors.Is(rerr, errInjected) {
+		t.Fatalf("recovery error = %v, want ErrLogFailed or the injected fault", rerr)
+	}
+	// The failure is sticky: healing the device must not let the log
+	// resume on top of a possibly-torn tail.
+	ff2.fail.Store(false)
+	l2.Append(&wal.Record{Type: wal.RecBegin, Txn: 9999})
+	if err := l2.FlushAll(); !errors.Is(err, wal.ErrLogFailed) {
+		t.Fatalf("flush after heal = %v, want sticky ErrLogFailed", err)
+	}
+
+	// Phase 3: a fresh start from the durable prefix converges.
+	l3, _ := openLog()
+	w3 := newWorldOn(l3, disk)
+	w3.anchor = anchor
+	rec3 := &recovery.Recovery{Log: l3, Pool: w3.pool, Disk: w3.disk, TM: w3.tm}
+	if _, err := rec3.Run(func() error {
+		tr, err := gist.Open(w3.pool, w3.tm, w3.cfg, w3.anchor)
+		if err != nil {
+			return err
+		}
+		w3.tree = tr
+		return nil
+	}); err != nil {
+		t.Fatalf("restart from durable prefix: %v", err)
+	}
+	got := w3.keys(0, 1000)
+	if len(got) != 10 {
+		t.Fatalf("keys after convergence = %v, want exactly 0..9", got)
+	}
+	for i, k := range got {
+		if k != int64(i) {
+			t.Fatalf("keys after convergence = %v, want exactly 0..9", got)
+		}
+	}
+	w3.checkTree()
+}

@@ -56,8 +56,14 @@ type Stats struct {
 // it must open the trees (which installs their undo handlers on the
 // transaction manager) and may return them for the caller's use.
 func (r *Recovery) Run(register func() error) (*Stats, error) {
-	a, n := r.Analyze()
+	a, n, err := r.Analyze()
+	if err != nil {
+		return &Stats{}, fmt.Errorf("recovery: analysis: %w", err)
+	}
 	st := &Stats{Analyzed: n, Losers: len(a.Losers)}
+	if err := r.replayAllocation(); err != nil {
+		return st, fmt.Errorf("recovery: allocation replay: %w", err)
+	}
 	if err := r.Redo(a, st); err != nil {
 		return st, fmt.Errorf("recovery: redo: %w", err)
 	}
@@ -80,7 +86,7 @@ func (r *Recovery) Run(register func() error) (*Stats, error) {
 
 // Analyze scans forward from the last checkpoint, rebuilding the active
 // transaction table and the dirty page table.
-func (r *Recovery) Analyze() (*Analysis, int) {
+func (r *Recovery) Analyze() (*Analysis, int, error) {
 	a := &Analysis{
 		Losers: make(map[page.TxnID]page.LSN),
 		DPT:    make(map[page.PageID]page.LSN),
@@ -88,13 +94,45 @@ func (r *Recovery) Analyze() (*Analysis, int) {
 	start := page.LSN(1)
 	if ck := r.Log.MasterCheckpoint(); ck != 0 {
 		start = ck
-		if rec, err := r.Log.Get(ck); err == nil {
+		rec, err := r.Log.Get(ck)
+		switch {
+		case err == nil:
+			// The checkpoint is fuzzy: with the pipelined log, records
+			// can be reserved below the checkpoint's own LSN yet land
+			// after its snapshot was gathered — a Commit squeezing in
+			// under the checkpoint, a page's first dirtying still in
+			// flight. Scanning only from the checkpoint record would
+			// miss them and undo committed transactions, so the scan
+			// starts at the snapshot anchor (PrevLSN, the reservation
+			// head when the snapshot began) and at or below every
+			// snapshot transaction's last LSN — a stale table read can
+			// trail its transaction's true last record by at most one,
+			// so scanning from the stale value re-observes it.
+			if rec.PrevLSN != 0 && rec.PrevLSN+1 < start {
+				start = rec.PrevLSN + 1
+			}
 			for _, ts := range rec.ATT {
 				a.Losers[ts.ID] = ts.LastLSN
+				if ts.LastLSN != 0 && ts.LastLSN < start {
+					start = ts.LastLSN
+				}
 			}
 			for _, dp := range rec.DPT {
 				a.DPT[dp.ID] = dp.RecLSN
 			}
+		case r.Log.Base() == 0:
+			// The checkpoint record is unreadable but the full log
+			// is still here: rebuild the ATT and DPT by scanning
+			// from LSN 1 instead of silently starting empty (which
+			// would miss losers whose last record predates the
+			// checkpoint).
+			start = 1
+		default:
+			// The head before the checkpoint is truncated; without
+			// the checkpoint's ATT/DPT the restart cannot be
+			// trusted. Fail loudly rather than lose losers.
+			return nil, 0, fmt.Errorf("checkpoint record %d unreadable past truncated head (base %d): %w",
+				ck, r.Log.Base(), err)
 		}
 	}
 	n := 0
@@ -133,7 +171,48 @@ func (r *Recovery) Analyze() (*Analysis, int) {
 	} else if ck := r.Log.MasterCheckpoint(); ck != 0 {
 		a.RedoLSN = ck
 	}
-	return a, n
+	// Clamp to the log head: the checkpoint's DPT is logged before the
+	// checkpoint's own FlushAll, so its recLSNs may predate the
+	// DiscardBefore truncation point. Those pages were flushed before the
+	// head was cut, so redo from just past the head is sufficient — and
+	// scanning from below the head must not be left to Scan's silent
+	// clamp.
+	if base := r.Log.Base(); a.RedoLSN <= base {
+		a.RedoLSN = base + 1
+	}
+	return a, n, nil
+}
+
+// replayAllocation rebuilds the disk's allocation state from the whole
+// retained log, before redo. The allocation metadata is durable only as of
+// the last completed Sync, while individual page images flush continuously
+// under WAL protection: a page allocated after that Sync can have a durable
+// image (and durable references to it) yet be missing from the metadata.
+// Redo's page-LSN skip logic cannot heal that — it never fetches a page all
+// of whose records predate the redo point — so allocation is replayed from
+// the log directly. The log head is only ever truncated after a completed
+// Sync, so everything the metadata does not cover is still in the log, and
+// replaying the overlap in LSN order is idempotent.
+func (r *Recovery) replayAllocation() error {
+	var rerr error
+	r.Log.Scan(1, func(rec *wal.Record) bool {
+		alloc := false
+		switch rec.Type.Base() {
+		case wal.RecGetPage:
+			alloc = !rec.Type.IsCLR()
+		case wal.RecFreePage:
+			alloc = rec.Type.IsCLR()
+		default:
+			return true
+		}
+		if alloc {
+			rerr = r.Disk.EnsureAllocated(rec.Pg)
+		} else {
+			rerr = r.Disk.EnsureDeallocated(rec.Pg)
+		}
+		return rerr == nil
+	})
+	return rerr
 }
 
 // touchedPages lists the pages whose images a record's redo modifies.
@@ -185,8 +264,10 @@ func (r *Recovery) redoRecord(rec *wal.Record, st *Stats) error {
 	}
 	if base == wal.RecFreePage && !rec.Type.IsCLR() {
 		// Apply the content flag if the page still exists, then free.
+		// Count the record as redone only if it changed something: the
+		// flag was stamped, or the allocation state transitioned.
+		applied := false
 		if f, err := r.Pool.Fetch(rec.Pg); err == nil {
-			applied := false
 			f.Latch.Acquire(latch.X)
 			if f.Page.LSN() < rec.LSN {
 				f.Page.SetFlags(f.Page.Flags() | page.FlagDeallocated)
@@ -196,16 +277,27 @@ func (r *Recovery) redoRecord(rec *wal.Record, st *Stats) error {
 			f.Latch.Release(latch.X)
 			r.Pool.Unpin(f, applied, rec.LSN)
 		}
-		st.Redone++
-		if err := r.Pool.Deallocate(rec.Pg); err != nil && !errors.Is(err, storage.ErrNoSuchPage) {
+		switch err := r.Pool.Deallocate(rec.Pg); {
+		case err == nil:
+			applied = true
+		case !errors.Is(err, storage.ErrNoSuchPage):
 			return err
+		}
+		if applied {
+			st.Redone++
+		} else {
+			st.RedoSkipped++
 		}
 		return nil
 	}
 	if base == wal.RecGetPage && rec.Type.IsCLR() {
 		// Compensated allocation: the page goes back to the free pool.
-		st.Redone++
-		if err := r.Pool.Deallocate(rec.Pg); err != nil && !errors.Is(err, storage.ErrNoSuchPage) {
+		switch err := r.Pool.Deallocate(rec.Pg); {
+		case err == nil:
+			st.Redone++
+		case errors.Is(err, storage.ErrNoSuchPage):
+			st.RedoSkipped++
+		default:
 			return err
 		}
 		return nil
@@ -285,7 +377,7 @@ func (r *Recovery) Undo(a *Analysis, st *Stats) error {
 // checkpoint itself and the first LSN of any live transaction (whose
 // backchain rollback must be able to walk).
 func Checkpoint(tm *txn.Manager, pool *buffer.Pool, disk storage.Manager) (page.LSN, error) {
-	lsn, err := tm.Checkpoint(pool.DirtyPages())
+	lsn, err := tm.Checkpoint(pool.DirtyPages)
 	if err != nil {
 		return 0, err
 	}

@@ -759,3 +759,62 @@ func TestCheckpointRespectsActiveTxnBound(t *testing.T) {
 		t.Errorf("keys = %d", len(got))
 	}
 }
+
+// TestRedoStatsAllDurableExact asserts exact restart redo stats end to
+// end: after a checkpoint (which flushes everything and truncates the log
+// head) plus fully-flushed follow-up work, redo must apply nothing —
+// Redone == 0 exactly, with every scanned page-touching record counted
+// as skipped. The checkpoint's logged DPT carries GC-era recLSNs below
+// the truncated head, so the run also exercises the explicit RedoLSN
+// head clamp; the old Redone accounting and the unclamped scan both
+// break the exact zero. (Without a checkpoint bound, nonzero Redone
+// would be correct here: redo resurrects GC-freed pages and replays
+// their history.)
+func TestRedoStatsAllDurableExact(t *testing.T) {
+	w := newWorld(t, gist.Config{MaxEntries: 4})
+	rids := make(map[int64]page.RID)
+	for i := 0; i < 40; i++ {
+		rids[int64(i)] = w.put(int64(i))
+	}
+	tx, _ := w.tm.Begin()
+	for i := 0; i < 8; i++ {
+		if err := w.tree.Delete(tx, btree.EncodeKey(int64(i)), rids[int64(i)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Commit()
+	w.tree.TxnFinished(tx.ID())
+	gcTx, _ := w.tm.Begin()
+	if err := w.tree.GCAll(gcTx); err != nil {
+		t.Fatal(err)
+	}
+	gcTx.Commit()
+	w.tree.TxnFinished(gcTx.ID())
+	if _, err := recovery.Checkpoint(w.tm, w.pool, w.disk); err != nil {
+		t.Fatal(err)
+	}
+	// Durable post-checkpoint work so the redo scan is guaranteed to
+	// visit page-touching records and classify them as skipped.
+	for i := 40; i < 45; i++ {
+		w.put(int64(i))
+	}
+
+	if err := w.log.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	nw, stats := w.crashAndRecover(0)
+	if stats.Redone != 0 {
+		t.Errorf("Redone = %d, want exactly 0: every effect was durable", stats.Redone)
+	}
+	if stats.RedoSkipped == 0 {
+		t.Error("RedoSkipped = 0: the durable records were not classified as skipped")
+	}
+	if got := nw.keys(0, 100); len(got) != 37 {
+		t.Fatalf("keys = %d, want 37", len(got))
+	}
+	nw.checkTree()
+}

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -143,3 +145,202 @@ func (c *CrashDisk) EnsureDeallocated(id page.PageID) error {
 	}
 	return c.Manager.EnsureDeallocated(id)
 }
+
+// CrashPoint is a byte-granular crash trigger shared by every CrashFile of
+// one simulated machine. Arm gives it a budget of bytes that may still be
+// written across all attached files (WAL, data file, double-write journal
+// alike); the write that crosses the budget persists only its admitted
+// prefix — a torn frame or torn page — and from that instant every I/O on
+// every attached file fails with ErrCrashed. Bytes written before the crash
+// stay durable, bytes after it never reach the files: exactly the failure
+// model of the paper's recovery protocol, with the tear landing at an
+// arbitrary byte offset chosen by the fuzzer's seed.
+type CrashPoint struct {
+	mu        sync.Mutex
+	armed     bool
+	remaining int64
+	crashed   bool
+	total     int64  // bytes admitted across all files, ever
+	site      string // label of the file whose write hit the point
+}
+
+// NewCrashPoint returns an unarmed crash point: attached files behave
+// normally (while counting bytes) until Arm or CrashNow.
+func NewCrashPoint() *CrashPoint { return &CrashPoint{} }
+
+// Arm sets the remaining byte budget. The write that would exceed it is
+// torn; a budget of 0 tears the very next write at offset 0.
+func (c *CrashPoint) Arm(budget int64) {
+	c.mu.Lock()
+	c.armed, c.remaining = true, budget
+	c.mu.Unlock()
+}
+
+// CrashNow fails every subsequent operation immediately (no tear).
+func (c *CrashPoint) CrashNow() {
+	c.mu.Lock()
+	if !c.crashed {
+		c.crashed = true
+		c.site = "explicit"
+	}
+	c.mu.Unlock()
+}
+
+// Crashed reports whether the crash point has fired.
+func (c *CrashPoint) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// BytesWritten returns the bytes admitted to all attached files so far.
+func (c *CrashPoint) BytesWritten() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Site names the file whose write crossed the budget ("" if none yet).
+func (c *CrashPoint) Site() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.site
+}
+
+// admit decides the fate of an n-byte write against site: how many bytes
+// may persist, and whether the write succeeds.
+func (c *CrashPoint) admit(n int, site string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, false
+	}
+	if !c.armed || int64(n) < c.remaining {
+		if c.armed {
+			c.remaining -= int64(n)
+		}
+		c.total += int64(n)
+		return n, true
+	}
+	// This write crosses (or exactly exhausts) the budget: persist the
+	// admitted prefix, then fail everything. remaining == n is the
+	// "write completed but the ack was lost" boundary case.
+	k := c.remaining
+	c.crashed = true
+	c.site = site
+	c.total += k
+	return int(k), false
+}
+
+// ok gates non-write operations: they work until the crash, then fail.
+func (c *CrashPoint) ok() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.crashed
+}
+
+// CrashFile wraps an *os.File with a shared CrashPoint. It satisfies both
+// the wal log-file contract (sequential Read/Write/Seek, Truncate, Sync,
+// Stat, Close) and the storage BlockFile contract (ReadAt/WriteAt), so one
+// crash point can tear the WAL, the page file, and the double-write journal
+// of a single simulated machine coherently. After the crash every operation
+// except Stat, Name and Close fails with ErrCrashed — in particular
+// Truncate and Sync, so the WAL's failed-write salvage cannot silently
+// repair the file post-mortem and its sticky ErrLogFailed engages instead.
+type CrashFile struct {
+	f    *os.File
+	cp   *CrashPoint
+	site string
+}
+
+// NewCrashFile attaches f to cp under the given site label.
+func NewCrashFile(f *os.File, cp *CrashPoint, site string) *CrashFile {
+	return &CrashFile{f: f, cp: cp, site: site}
+}
+
+// Write implements io.Writer with torn-prefix semantics.
+func (c *CrashFile) Write(p []byte) (int, error) {
+	k, ok := c.cp.admit(len(p), c.site)
+	var n int
+	var err error
+	if k > 0 {
+		n, err = c.f.Write(p[:k])
+		if err != nil {
+			return n, err
+		}
+	}
+	if !ok {
+		return n, ErrCrashed
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt with torn-prefix semantics.
+func (c *CrashFile) WriteAt(p []byte, off int64) (int, error) {
+	k, ok := c.cp.admit(len(p), c.site)
+	var n int
+	var err error
+	if k > 0 {
+		n, err = c.f.WriteAt(p[:k], off)
+		if err != nil {
+			return n, err
+		}
+	}
+	if !ok {
+		return n, ErrCrashed
+	}
+	return n, nil
+}
+
+// Read implements io.Reader.
+func (c *CrashFile) Read(p []byte) (int, error) {
+	if !c.cp.ok() {
+		return 0, ErrCrashed
+	}
+	return c.f.Read(p)
+}
+
+// ReadAt implements io.ReaderAt.
+func (c *CrashFile) ReadAt(p []byte, off int64) (int, error) {
+	if !c.cp.ok() {
+		return 0, ErrCrashed
+	}
+	return c.f.ReadAt(p, off)
+}
+
+// Seek implements io.Seeker.
+func (c *CrashFile) Seek(offset int64, whence int) (int64, error) {
+	if !c.cp.ok() {
+		return 0, ErrCrashed
+	}
+	return c.f.Seek(offset, whence)
+}
+
+// Truncate fails after the crash so no post-mortem salvage can run.
+func (c *CrashFile) Truncate(size int64) error {
+	if !c.cp.ok() {
+		return ErrCrashed
+	}
+	return c.f.Truncate(size)
+}
+
+// Sync fails after the crash.
+func (c *CrashFile) Sync() error {
+	if !c.cp.ok() {
+		return ErrCrashed
+	}
+	return c.f.Sync()
+}
+
+// Stat always works (harness bookkeeping).
+func (c *CrashFile) Stat() (os.FileInfo, error) { return c.f.Stat() }
+
+// Name always works.
+func (c *CrashFile) Name() string { return c.f.Name() }
+
+// Close always closes the underlying descriptor so a crashed world can be
+// abandoned without leaking files.
+func (c *CrashFile) Close() error { return c.f.Close() }
+
+var _ io.ReadWriteSeeker = (*CrashFile)(nil)
+var _ BlockFile = (*CrashFile)(nil)

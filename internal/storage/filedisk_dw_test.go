@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/page"
+)
+
+func openCrashDisk(t *testing.T, dir string, cp *CrashPoint) (*FileDisk, string) {
+	t.Helper()
+	path := filepath.Join(dir, "pages.db")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := os.OpenFile(path+".dw", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenFileDiskFiles(NewCrashFile(f, cp, "pages"), NewCrashFile(dw, cp, "dw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, path
+}
+
+func fill(b byte) []byte {
+	buf := make([]byte, page.Size)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+// A home-page write torn mid-page must be healed from the double-write
+// journal on reopen: the page reads back as the complete new image, never
+// a stitch of new prefix and old tail.
+func TestDoublewriteHealsTornPageWrite(t *testing.T) {
+	cp := NewCrashPoint()
+	d, path := openCrashDisk(t, t.TempDir(), cp)
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(id, fill(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The next WritePage journals a full frame, then tears the home
+	// write 1000 bytes in.
+	cp.Arm(dwFrameSize + 1000)
+	err = d.WritePage(id, fill(0xBB))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write returned %v, want ErrCrashed", err)
+	}
+	if cp.Site() != "pages" {
+		t.Fatalf("tear landed on %q, want the home file", cp.Site())
+	}
+	d.f.Close()
+	d.dw.Close()
+
+	// The home image really is torn before replay.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := raw[int64(id)*page.Size:][:page.Size]
+	if home[0] != 0xBB || home[page.Size-1] != 0xAA {
+		t.Fatalf("expected a torn home image, got %x..%x", home[0], home[page.Size-1])
+	}
+
+	nd, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	buf := make([]byte, page.Size)
+	if err := nd.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, fill(0xBB)) {
+		t.Error("torn page not healed to the journaled image")
+	}
+}
+
+// A journal write torn mid-frame fails its checksum at replay and is
+// skipped; the home image (never touched) keeps the previous version.
+func TestDoublewriteTornJournalKeepsOldImage(t *testing.T) {
+	cp := NewCrashPoint()
+	d, path := openCrashDisk(t, t.TempDir(), cp)
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(id, fill(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	cp.Arm(500) // tears inside the journal frame of the next write
+	if err := d.WritePage(id, fill(0xBB)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn journal write returned %v, want ErrCrashed", err)
+	}
+	if cp.Site() != "dw" {
+		t.Fatalf("tear landed on %q, want the journal", cp.Site())
+	}
+	d.f.Close()
+	d.dw.Close()
+
+	nd, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	buf := make([]byte, page.Size)
+	if err := nd.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, fill(0xAA)) {
+		t.Error("old image lost despite the home write never starting")
+	}
+}
+
+// After the crash point fires, every subsequent operation on every
+// attached file fails — reads, syncs, truncates — so nothing can silently
+// repair the simulated machine post-mortem.
+func TestCrashPointFreezesAllFiles(t *testing.T) {
+	cp := NewCrashPoint()
+	d, _ := openCrashDisk(t, t.TempDir(), cp)
+	defer func() {
+		d.f.Close()
+		d.dw.Close()
+	}()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.CrashNow()
+	buf := make([]byte, page.Size)
+	if err := d.ReadPage(id, buf); !errors.Is(err, ErrCrashed) {
+		t.Errorf("read after crash: %v", err)
+	}
+	if err := d.WritePage(id, buf); !errors.Is(err, ErrCrashed) {
+		t.Errorf("write after crash: %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("sync after crash: %v", err)
+	}
+	cf := d.f.(*CrashFile)
+	if err := cf.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("truncate after crash: %v", err)
+	}
+	if _, err := cf.Stat(); err != nil {
+		t.Errorf("stat must keep working: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 	"testing/quick"
@@ -170,13 +171,31 @@ func TestFileDiskBadMagic(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.Close()
-	// Corrupt the magic.
+	// Corrupting only the home meta block is healed by double-write
+	// replay on the next open.
 	f, err := OpenFileDisk(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	f.f.WriteAt([]byte{0, 0, 0, 0}, 0)
 	f.f.Close()
+	f.dw.Close()
+	healed, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatalf("dw replay should heal a torn meta block: %v", err)
+	}
+	healed.Close()
+	// With the journal gone too, the corruption is fatal.
+	g, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.f.WriteAt([]byte{0, 0, 0, 0}, 0)
+	g.f.Close()
+	g.dw.Close()
+	if err := os.Remove(path + ".dw"); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := OpenFileDisk(path); err == nil {
 		t.Error("open with bad magic should fail")
 	}

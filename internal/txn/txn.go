@@ -217,13 +217,27 @@ func (m *Manager) ActiveTxns() []*Txn {
 }
 
 // Checkpoint writes a checkpoint record carrying the active transaction
-// table and the provided dirty page table, then flushes the log.
-func (m *Manager) Checkpoint(dpt map[page.PageID]page.LSN) (page.LSN, error) {
+// table and the dirty page table, then flushes the log. The dirty page
+// table is passed as a function, not a value: it must be gathered AFTER
+// the snapshot anchor below is taken. A table gathered before the anchor
+// can miss a page whose first dirtying record slips in between — that
+// record's LSN lands at or below PrevLSN, restart analysis never scans it,
+// and redo starts past it, silently losing the update.
+func (m *Manager) Checkpoint(dpt func() map[page.PageID]page.LSN) (page.LSN, error) {
 	r := &wal.Record{Type: wal.RecCheckpoint}
+	// Anchor the fuzzy snapshot before gathering it: every record reserved
+	// from here on has a larger LSN than PrevLSN, so restart analysis can
+	// scan from min(PrevLSN+1, ATT last LSNs) and observe every record the
+	// snapshot raced with — a transaction that reserved its Commit LSN just
+	// below the checkpoint's, a page whose first dirtying was in flight, a
+	// transaction that began after the table was read. Without the anchor
+	// such records sit below the scan start and a committed transaction can
+	// be undone as a loser.
+	r.PrevLSN = m.log.LastLSN()
 	for _, tx := range m.ActiveTxns() {
 		r.ATT = append(r.ATT, wal.TxnState{ID: tx.ID(), LastLSN: tx.LastLSN()})
 	}
-	for id, rec := range dpt {
+	for id, rec := range dpt() {
 		r.DPT = append(r.DPT, wal.DirtyPage{ID: id, RecLSN: rec})
 	}
 	lsn := m.log.Append(r)

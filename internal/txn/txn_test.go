@@ -296,7 +296,9 @@ func TestCheckpointRecordsATTAndDPT(t *testing.T) {
 	m := newMgr()
 	tx, _ := m.Begin()
 	tx.Log(&wal.Record{Type: wal.RecHeapInsert})
-	lsn, err := m.Checkpoint(map[page.PageID]page.LSN{5: 2})
+	lsn, err := m.Checkpoint(func() map[page.PageID]page.LSN {
+		return map[page.PageID]page.LSN{5: 2}
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

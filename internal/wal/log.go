@@ -25,9 +25,9 @@ var ErrNoSuchLSN = errors.New("wal: no such LSN")
 // watermark past bytes whose fate on disk is unknown).
 var ErrLogFailed = errors.New("wal: log failed")
 
-// logFile is the slice of *os.File the log uses, split out so the failure
-// tests can inject write and fsync faults.
-type logFile interface {
+// File is the slice of *os.File the log uses, split out so the failure
+// tests and the crash-point harness can inject write and fsync faults.
+type File interface {
 	io.ReadWriteSeeker
 	io.Closer
 	Truncate(int64) error
@@ -88,7 +88,7 @@ type Log struct {
 	// reach the file in LSN order no matter which path runs them; it is
 	// always taken before mu, never while holding it. goodOffset is the
 	// file length known written (touched only under ioMu).
-	file       logFile
+	file       File
 	ioMu       sync.Mutex
 	goodOffset int64
 
@@ -197,9 +197,14 @@ func OpenFileLog(path string) (*Log, error) {
 	return l, nil
 }
 
+// OpenFileLogHandle builds a file-backed log over an already-open handle.
+// The crash harness calls it with a fault-injecting File; the caller keeps
+// ownership of the handle if the open fails.
+func OpenFileLogHandle(f File) (*Log, error) { return openFileLog(f) }
+
 // openFileLog builds a file-backed log over an already-open file; the
-// failure tests call it with a fault-injecting logFile.
-func openFileLog(f logFile) (*Log, error) {
+// failure tests call it with a fault-injecting File.
+func openFileLog(f File) (*Log, error) {
 	l := &Log{file: f}
 	l.init()
 	st, err := f.Stat()
