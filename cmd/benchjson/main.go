@@ -31,11 +31,13 @@ type benchResult struct {
 type document struct {
 	Benchmarks []benchResult    `json:"benchmarks"`
 	Metrics    map[string]int64 `json:"metrics,omitempty"`
+	Maint      any              `json:"maint,omitempty"`
 }
 
 func main() {
 	benchPath := flag.String("bench", "", "file with `go test -bench` output (default stdin)")
 	metricsPath := flag.String("metrics", "", "optional gistbench -exp metrics -json snapshot to embed")
+	maintPath := flag.String("maint", "", "optional gistbench -exp maint -json soak snapshot to embed")
 	flag.Parse()
 
 	in := os.Stdin
@@ -59,6 +61,11 @@ func main() {
 		raw, err := os.ReadFile(*metricsPath)
 		fatalIf(err)
 		fatalIf(json.Unmarshal(raw, &doc.Metrics))
+	}
+	if *maintPath != "" {
+		raw, err := os.ReadFile(*maintPath)
+		fatalIf(err)
+		fatalIf(json.Unmarshal(raw, &doc.Maint))
 	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -37,7 +38,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, crashfuzz, all")
+	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, crashfuzz, maint, all")
 	threadsFlag = flag.String("threads", "1,2,4,8,16", "goroutine counts for throughput experiments")
 	keysFlag    = flag.Int("keys", 20000, "working-set size for throughput experiments")
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per throughput cell")
@@ -68,6 +69,238 @@ func main() {
 	run("isolation", expIsolation)
 	run("metrics", expMetrics)
 	run("crashfuzz", expCrashFuzz)
+	run("maint", expMaint)
+}
+
+// maintCell is one soak measurement: an insert/delete churn workload run
+// for -dur with the background maintenance daemons either off (Manual mode:
+// the manager exists for its gauges but nothing ticks) or on with
+// aggressive pacing. The contrast is the experiment: with daemons off the
+// log and the dead-entry population grow without bound; with daemons on the
+// checkpointer + truncator hold the log bounded and the GC sweeper holds
+// dead entries bounded, at a measurable (small) foreground latency cost.
+type maintCell struct {
+	Daemons        bool    `json:"daemons"`
+	Ops            int64   `json:"ops"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	P50Micros      float64 `json:"p50_us"`
+	P99Micros      float64 `json:"p99_us"`
+	MaxLogRecords  int64   `json:"max_log_records"`
+	EndLogRecords  int64   `json:"end_log_records"`
+	MaxDirtyPages  int64   `json:"max_dirty_pages"`
+	MaxDeadEntries int64   `json:"max_dead_entries"`
+	EndDeadEntries int64   `json:"end_dead_entries"`
+	LogBase        int64   `json:"log_base"`
+	Checkpoints    int64   `json:"checkpoints"`
+	Truncations    int64   `json:"truncations"`
+	TruncatedBytes int64   `json:"truncated_bytes"`
+	FlushPages     int64   `json:"flush_pages"`
+	GCReclaimed    int64   `json:"gc_reclaimed"`
+}
+
+func expMaint() {
+	off := maintSoak(false)
+	on := maintSoak(true)
+	if *jsonFlag {
+		out, err := json.MarshalIndent(map[string]maintCell{
+			"daemons_off": off, "daemons_on": on,
+		}, "", "  ")
+		must(err)
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("%-22s %14s %14s\n", "", "daemons off", "daemons on")
+		row := func(name string, a, b int64) { fmt.Printf("%-22s %14d %14d\n", name, a, b) }
+		rowF := func(name string, a, b float64) { fmt.Printf("%-22s %14.1f %14.1f\n", name, a, b) }
+		rowF("ops/sec", off.OpsPerSec, on.OpsPerSec)
+		rowF("p50 latency (us)", off.P50Micros, on.P50Micros)
+		rowF("p99 latency (us)", off.P99Micros, on.P99Micros)
+		row("max log records", off.MaxLogRecords, on.MaxLogRecords)
+		row("end log records", off.EndLogRecords, on.EndLogRecords)
+		row("log base (head)", off.LogBase, on.LogBase)
+		row("max dirty pages", off.MaxDirtyPages, on.MaxDirtyPages)
+		row("max dead entries", off.MaxDeadEntries, on.MaxDeadEntries)
+		row("end dead entries", off.EndDeadEntries, on.EndDeadEntries)
+		row("checkpoints", off.Checkpoints, on.Checkpoints)
+		row("truncations", off.Truncations, on.Truncations)
+		row("truncated bytes", off.TruncatedBytes, on.TruncatedBytes)
+		row("write-behind flushes", off.FlushPages, on.FlushPages)
+		row("GC entries reclaimed", off.GCReclaimed, on.GCReclaimed)
+	}
+	// The soak's acceptance criteria: with the daemons on, the log head must
+	// actually advance, GC must actually reclaim, and the retained log must
+	// be meaningfully smaller than the unmaintained run's.
+	var bad []string
+	if on.LogBase == 0 {
+		bad = append(bad, "log head never advanced")
+	}
+	if on.Checkpoints == 0 {
+		bad = append(bad, "checkpointer never fired")
+	}
+	if on.GCReclaimed == 0 {
+		bad = append(bad, "GC sweeper reclaimed nothing")
+	}
+	if on.EndLogRecords >= off.EndLogRecords {
+		bad = append(bad, fmt.Sprintf("retained log not bounded (on=%d off=%d records)",
+			on.EndLogRecords, off.EndLogRecords))
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "gistbench: maint soak FAILED: %s\n", strings.Join(bad, "; "))
+		os.Exit(1)
+	}
+	if !*jsonFlag {
+		fmt.Println("RESULT: daemons held log and dead entries bounded while foreground work ran")
+	}
+}
+
+func maintSoak(daemons bool) maintCell {
+	mo := &gistdb.MaintenanceOptions{Manual: true}
+	if daemons {
+		mo = &gistdb.MaintenanceOptions{
+			CheckpointBytes:    256 << 10,
+			CheckpointInterval: 500 * time.Millisecond,
+			CheckpointPoll:     10 * time.Millisecond,
+			TruncateInterval:   20 * time.Millisecond,
+			FlushInterval:      10 * time.Millisecond,
+			FlushBatch:         64,
+			FlushMinDirty:      16,
+			GCInterval:         10 * time.Millisecond,
+			GCDeadThreshold:    32,
+			GCBurstLeaves:      32,
+			GCSweepTicks:       32,
+		}
+	}
+	// The pool is sized above the working set: the write-behind flusher can
+	// then actually drain the DPT, which is what lets the truncation bound
+	// (min dirty recLSN) track the append head.
+	db, err := gistdb.Open(gistdb.Options{MaxEntries: 16, PoolPages: 4096, Maintenance: mo})
+	must(err)
+	defer db.Close()
+	idx, err := db.CreateIndex("maint", btree.Ops{})
+	must(err)
+
+	cell := maintCell{Daemons: daemons}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Sampler: the bounded-ness claim is about the whole run, not just its
+	// endpoint, so track the maxima of the maint gauges over time.
+	var gaugeMu sync.Mutex
+	maxGauge := map[string]int64{}
+	sample := func() {
+		m := db.Metrics()
+		gaugeMu.Lock()
+		for _, g := range []string{"maint.log_records", "maint.dirty_pages", "maint.dead_entries"} {
+			if m[g] > maxGauge[g] {
+				maxGauge[g] = m[g]
+			}
+		}
+		gaugeMu.Unlock()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+
+	// Churn writers: ~70% inserts, ~30% deletes of the writer's own earlier
+	// keys — the delete marks are the GC sweeper's food.
+	type kv struct {
+		key int64
+		rid gistdb.RID
+	}
+	const writers = 4
+	latCh := make(chan []time.Duration, writers)
+	var ops atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			next := seed * 10_000_000
+			var mine []kv
+			var lats []time.Duration
+			for {
+				select {
+				case <-stop:
+					latCh <- lats
+					return
+				default:
+				}
+				t0 := time.Now()
+				tx, err := db.Begin()
+				if err != nil {
+					latCh <- lats
+					return
+				}
+				if rng.Intn(10) < 3 && len(mine) > 0 {
+					i := rng.Intn(len(mine))
+					p := mine[i]
+					if err := idx.Delete(tx, btree.EncodeKey(p.key), p.rid); err != nil {
+						tx.Abort()
+						continue
+					}
+					mine = append(mine[:i], mine[i+1:]...)
+				} else {
+					k := next
+					next++
+					rid, err := idx.Insert(tx, btree.EncodeKey(k), []byte("soak"))
+					if err != nil {
+						tx.Abort()
+						continue
+					}
+					mine = append(mine, kv{k, rid})
+				}
+				if err := tx.Commit(); err != nil {
+					continue
+				}
+				lats = append(lats, time.Since(t0))
+				ops.Add(1)
+			}
+		}(int64(w + 1))
+	}
+	time.Sleep(*durFlag)
+	close(stop)
+	wg.Wait()
+	sample()
+
+	var all []time.Duration
+	for i := 0; i < writers; i++ {
+		all = append(all, <-latCh...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Microseconds())
+	}
+	m := db.Metrics()
+	cell.Ops = ops.Load()
+	cell.OpsPerSec = float64(cell.Ops) / durFlag.Seconds()
+	cell.P50Micros = pct(0.50)
+	cell.P99Micros = pct(0.99)
+	cell.MaxLogRecords = maxGauge["maint.log_records"]
+	cell.EndLogRecords = m["maint.log_records"]
+	cell.MaxDirtyPages = maxGauge["maint.dirty_pages"]
+	cell.MaxDeadEntries = maxGauge["maint.dead_entries"]
+	cell.EndDeadEntries = m["maint.dead_entries"]
+	cell.LogBase = int64(db.WAL().Base())
+	cell.Checkpoints = m["maint.checkpoints"]
+	cell.Truncations = m["maint.truncations"]
+	cell.TruncatedBytes = m["maint.truncated_bytes"]
+	cell.FlushPages = m["maint.flush_pages"]
+	cell.GCReclaimed = m["maint.gc_reclaimed"]
+	return cell
 }
 
 // expCrashFuzz runs the randomized crash-point recovery harness over a
@@ -146,7 +379,7 @@ func expCrashFuzz() {
 		}
 	}
 	fmt.Printf("\ncrash sites:")
-	for _, s := range []string{"wal", "pages", "dw", "explicit"} {
+	for _, s := range []string{"wal", "walt", "pages", "dw", "explicit"} {
 		fmt.Printf("  %s=%d", s, sites[s])
 	}
 	fmt.Printf("\nsurvivor-log tail types: %d distinct\n", len(tails))

@@ -42,6 +42,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/latch"
 	"repro/internal/lock"
+	"repro/internal/maintenance"
 	"repro/internal/page"
 	"repro/internal/predicate"
 	"repro/internal/recovery"
@@ -63,6 +64,9 @@ type (
 	Isolation = gist.Isolation
 	// SearchResult is one (key, RID) hit.
 	SearchResult = gist.SearchResult
+	// MaintenanceOptions are the background-daemon pacing knobs
+	// (internal/maintenance.Options re-exported).
+	MaintenanceOptions = maintenance.Options
 )
 
 // Isolation levels.
@@ -103,6 +107,12 @@ type Options struct {
 	// IOLatency adds simulated latency to every page read/write,
 	// making I/O cost visible to the concurrency experiments.
 	IOLatency time.Duration
+	// Maintenance, when non-nil, enables the background maintenance
+	// subsystem (autonomous checkpointer, crash-atomic log truncator,
+	// write-behind flusher, GC sweeper). The zero Options value gives
+	// production defaults; set Manual to drive the daemons by explicit
+	// ticks instead of goroutines.
+	Maintenance *MaintenanceOptions
 }
 
 // DB is an open database.
@@ -116,6 +126,7 @@ type DB struct {
 	preds *predicate.Manager
 	tm    *txn.Manager
 	heap  *heap.File
+	maint *maintenance.Manager // nil unless Options.Maintenance was set
 
 	mu      sync.Mutex
 	catalog page.PageID
@@ -174,13 +185,54 @@ func Open(opts Options) (*DB, error) {
 		if err := db.bootstrap(); err != nil {
 			return nil, err
 		}
-		return db, nil
-	}
-	if err := db.recover(); err != nil {
+	} else if err := db.recover(); err != nil {
 		return nil, err
 	}
+	db.startMaintenance()
 	return db, nil
 }
+
+// startMaintenance wires and launches the background daemons when the
+// caller asked for them.
+func (db *DB) startMaintenance() {
+	if db.opts.Maintenance == nil {
+		return
+	}
+	db.maint = maintenance.New(maintenance.Deps{
+		Log:      db.log,
+		TM:       db.tm,
+		Pool:     db.pool,
+		Disk:     db.disk,
+		Trees:    db.openTrees,
+		Pressure: db.pressureScore,
+	}, *db.opts.Maintenance)
+	db.maint.Start()
+}
+
+// openTrees snapshots the trees of the currently open indexes for the GC
+// sweeper.
+func (db *DB) openTrees() []*gist.Tree {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	trees := make([]*gist.Tree, 0, len(db.indexes))
+	for _, ix := range db.indexes {
+		trees = append(trees, ix.tree)
+	}
+	return trees
+}
+
+// pressureScore is the monotone foreground-contention score backpressure
+// watches: lock waits, buffer shard contention, and committers parked on
+// the WAL queue.
+func (db *DB) pressureScore() int64 {
+	return db.locks.Metrics().Value("lock.waits") +
+		db.pool.Metrics().Value("buffer.shard_contention") +
+		db.log.Metrics().Value("wal.group_waits")
+}
+
+// Maintenance exposes the background maintenance manager (nil when
+// Options.Maintenance was not set) for manual ticks and metrics.
+func (db *DB) Maintenance() *maintenance.Manager { return db.maint }
 
 // bootstrap formats a fresh database: just the catalog page.
 func (db *DB) bootstrap() error {
@@ -423,14 +475,18 @@ func (db *DB) Stats() Stats {
 // It supersedes the per-manager Stats methods for monitoring; Stats remains
 // as a typed convenience view over the same counters.
 func (db *DB) Metrics() map[string]int64 {
-	return stats.Merged(
+	regs := []*stats.Registry{
 		db.tm.Metrics(),
 		db.locks.Metrics(),
 		db.preds.Metrics(),
 		db.pool.Metrics(),
 		db.log.Metrics(),
 		storage.MetricsOf(db.disk),
-	)
+	}
+	if db.maint != nil {
+		regs = append(regs, db.maint.Metrics())
+	}
+	return stats.Merged(regs...)
 }
 
 // Close flushes everything and closes the database cleanly. Order matters:
@@ -438,6 +494,12 @@ func (db *DB) Metrics() map[string]int64 {
 // flusher, so the log may be Closed (stopping that goroutine) only after
 // the pool is done; log.Close then flushes its own tail synchronously.
 func (db *DB) Close() error {
+	// Stop the maintenance daemons before taking db.mu: an in-flight GC
+	// tick may be inside the openTrees callback waiting on db.mu, and Stop
+	// waits for the tick — taking the mutex first would deadlock.
+	if db.maint != nil {
+		db.maint.Stop()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -468,6 +530,9 @@ func (db *DB) SimulateCrash() (*DB, error) {
 	if db.mem == nil {
 		return nil, errors.New("gistdb: SimulateCrash requires an in-memory database")
 	}
+	if db.maint != nil {
+		db.maint.Stop() // the crashed instance's daemons die with it
+	}
 	db.mu.Lock()
 	db.closed = true
 	db.mu.Unlock()
@@ -492,6 +557,7 @@ func (db *DB) SimulateCrash() (*DB, error) {
 	if err := survivor.recover(); err != nil {
 		return nil, err
 	}
+	survivor.startMaintenance()
 	return survivor, nil
 }
 
@@ -507,6 +573,9 @@ func (db *DB) WAL() *wal.Log { return db.log }
 func (db *DB) SimulateCrashAtLSN(lsn page.LSN) (*DB, error) {
 	if db.mem == nil {
 		return nil, errors.New("gistdb: SimulateCrashAtLSN requires an in-memory database")
+	}
+	if db.maint != nil {
+		db.maint.Stop()
 	}
 	db.mu.Lock()
 	db.closed = true
@@ -532,6 +601,7 @@ func (db *DB) SimulateCrashAtLSN(lsn page.LSN) (*DB, error) {
 	if err := survivor.recover(); err != nil {
 		return nil, err
 	}
+	survivor.startMaintenance()
 	return survivor, nil
 }
 
@@ -539,6 +609,13 @@ func (db *DB) SimulateCrashAtLSN(lsn page.LSN) (*DB, error) {
 // of its pages (anchor and nodes) are freed for reuse. The index must not
 // be in concurrent use.
 func (db *DB) DropIndex(name string) error {
+	// Pause maintenance before taking db.mu: an in-flight tick may be inside
+	// the Trees callback waiting on db.mu, and Pause waits for the tick.
+	// Pausing also keeps the GC sweeper off the tree being dropped.
+	if db.maint != nil {
+		db.maint.Pause()
+		defer db.maint.Resume()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

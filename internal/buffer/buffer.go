@@ -144,7 +144,8 @@ type Pool struct {
 	hits      *stats.Counter
 	misses    *stats.Counter
 	evicts    *stats.Counter
-	steals    *stats.Counter // frames migrated between shards
+	steals       *stats.Counter // frames migrated between shards
+	stealBatches *stats.Counter // steal operations (steals ÷ batches = batch size)
 	contended *stats.Counter // shard mutex acquisitions that blocked
 }
 
@@ -172,6 +173,7 @@ func New(disk storage.Manager, capacity int, wal LogFlusher) *Pool {
 	p.misses = p.reg.Counter("buffer.misses")
 	p.evicts = p.reg.Counter("buffer.evictions")
 	p.steals = p.reg.Counter("buffer.frame_steals")
+	p.stealBatches = p.reg.Counter("buffer.steal_batches")
 	p.contended = p.reg.Counter("buffer.shard_contention")
 	p.reg.Gauge("buffer.shards", func() int64 { return int64(nshards) })
 	p.reg.Gauge("buffer.capacity", func() int64 { return int64(capacity) })
@@ -332,16 +334,23 @@ func (p *Pool) claimLocked(s *shard) (f *Frame, dropped bool, err error) {
 			return nil, dropped, ErrPoolExhausted
 		}
 		stole = true
-		// Local shard exhausted: steal an evictable frame from a
-		// sibling shard and adopt it.
+		// Local shard exhausted: steal a batch of evictable frames from
+		// sibling shards and adopt them. Group eviction — taking several
+		// clean frames per sibling-lock acquisition — amortizes the
+		// cross-shard locking during warm-up bursts; the extras beyond the
+		// first become local victims for the rescan (and for the next
+		// misses on this shard).
 		s.mu.Unlock()
-		stolen := p.stealFrame(s)
+		stolen := p.stealFrames(s)
 		s.lock()
 		dropped = true
-		if stolen != nil {
-			stolen.home = s
-			s.frames = append(s.frames, stolen)
-			p.steals.Add(1)
+		if len(stolen) > 0 {
+			for _, f := range stolen {
+				f.home = s
+				s.frames = append(s.frames, f)
+			}
+			p.steals.Add(int64(len(stolen)))
+			p.stealBatches.Inc()
 		}
 		// Rescan even when the steal failed: a local frame may have
 		// been unpinned while the mutex was dropped.
@@ -378,62 +387,93 @@ func (p *Pool) writeBackLocked(s *shard, f *Frame) (ok bool, err error) {
 	return f.pins == 0, nil
 }
 
-// stealFrame removes an evictable frame from some shard other than s and
-// returns it orphaned (stateFree, in no shard's frame list), or nil when
-// every other frame in the pool is pinned. No locks are held on entry.
-func (p *Pool) stealFrame(s *shard) *Frame {
-	for _, allowDirty := range []bool{false, true} {
-		for _, t := range p.shards {
-			if t == s {
-				continue
-			}
-			if f := p.stealFrom(t, allowDirty); f != nil {
-				return f
-			}
+// stealBatch is the group-eviction width: the most clean frames one steal
+// operation migrates. Small enough that a burst of misses on one shard does
+// not strip its siblings bare, large enough to amortize the sibling-lock
+// round trips (the write-behind flusher keeps clean frames plentiful).
+const stealBatch = 4
+
+// stealFrames removes up to stealBatch evictable clean frames from shards
+// other than s and returns them orphaned (stateFree, in no shard's frame
+// list). If no sibling has a clean evictable frame, it falls back to
+// writing back and stealing a single dirty one. Empty when every other
+// frame in the pool is pinned. No locks are held on entry.
+func (p *Pool) stealFrames(s *shard) []*Frame {
+	var out []*Frame
+	for _, t := range p.shards {
+		if t == s {
+			continue
+		}
+		out = append(out, p.stealFrom(t, false, stealBatch-len(out))...)
+		if len(out) >= stealBatch {
+			return out
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	for _, t := range p.shards {
+		if t == s {
+			continue
+		}
+		if got := p.stealFrom(t, true, 1); len(got) > 0 {
+			return got
 		}
 	}
 	return nil
 }
 
-// stealFrom extracts one evictable frame from t, writing back a dirty
-// victim if allowDirty. A shard is never drained below one frame.
-func (p *Pool) stealFrom(t *shard, allowDirty bool) *Frame {
+// stealFrom extracts up to max evictable clean frames from t, writing back
+// a dirty victim if allowDirty and none is clean. A shard is never drained
+// below one frame.
+func (p *Pool) stealFrom(t *shard, allowDirty bool, max int) []*Frame {
+	if max <= 0 {
+		return nil
+	}
 	t.lock()
 	defer t.mu.Unlock()
+	var out []*Frame
 	for attempts := 0; attempts < 3; attempts++ {
 		if len(t.frames) <= 1 {
-			return nil
+			return out
 		}
+		// Sweep for clean victims first, then extract, so the removals do
+		// not disturb the iteration.
+		var clean []*Frame
 		var dirtyCand *Frame
 		for _, f := range t.frames {
 			if f.pins > 0 {
 				continue
 			}
 			if f.state == stateFree || (f.state == stateReady && !f.dirty) {
-				if f.state == stateReady {
-					delete(t.table, f.id)
-					p.evicts.Add(1)
+				if len(clean) < max && len(t.frames)-len(clean) > 1 {
+					clean = append(clean, f)
 				}
-				t.removeFrameLocked(f)
-				f.state = stateFree
-				f.dirty = false
-				f.recLSN = 0
-				f.refbit = false
-				return f
-			}
-			if allowDirty && dirtyCand == nil && f.state == stateReady && f.dirty {
+			} else if allowDirty && dirtyCand == nil && f.state == stateReady && f.dirty {
 				dirtyCand = f
 			}
 		}
-		if dirtyCand == nil {
-			return nil
+		for _, f := range clean {
+			if f.state == stateReady {
+				delete(t.table, f.id)
+				p.evicts.Add(1)
+			}
+			t.removeFrameLocked(f)
+			f.state = stateFree
+			f.dirty = false
+			f.recLSN = 0
+			f.refbit = false
+			out = append(out, f)
+		}
+		if len(out) > 0 || dirtyCand == nil {
+			return out
 		}
 		if ok, err := p.writeBackLocked(t, dirtyCand); err != nil || !ok {
 			continue // the world changed during the write; rescan
 		}
 		// The candidate is clean now; the next sweep extracts it.
 	}
-	return nil
+	return out
 }
 
 // removeFrameLocked drops f from the shard's frame list (t.mu held).
@@ -562,12 +602,21 @@ func (p *Pool) MarkDirty(f *Frame, updateLSN page.LSN) {
 // FlushPage writes the named page to disk if cached and dirty, honoring the
 // WAL rule. It is a no-op for uncached pages.
 func (p *Pool) FlushPage(id page.PageID) error {
+	_, err := p.FlushWrote(id)
+	return err
+}
+
+// FlushWrote is FlushPage plus a report of whether a disk write actually
+// happened: false for uncached or already-clean pages (the DPT lists
+// pinned-clean frames conservatively, and those need no I/O). The
+// write-behind flusher paces its batches by real writes, not no-ops.
+func (p *Pool) FlushWrote(id page.PageID) (bool, error) {
 	s := p.shardOf(id)
 	s.lock()
 	f, ok := s.table[id]
 	if !ok || !f.dirty || f.state != stateReady {
 		s.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	f.pins++
 	if f.pins == 1 {
@@ -605,7 +654,7 @@ func (p *Pool) FlushPage(id page.PageID) error {
 	}
 	f.pins--
 	s.mu.Unlock()
-	return err
+	return true, err
 }
 
 // FlushAll writes every dirty cached page to disk (used at checkpoint and

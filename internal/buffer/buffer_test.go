@@ -554,3 +554,118 @@ func TestDirtyPagesPinnedFloor(t *testing.T) {
 		t.Errorf("DirtyPages after unpin = %v, want empty", got)
 	}
 }
+
+// TestGroupEvictionStealsBatches pins the group-eviction behavior: when one
+// shard's miss burst exhausts its local frames while siblings hold plenty of
+// clean ones, a single steal operation migrates a batch (up to stealBatch
+// frames), not one frame per sibling-lock round trip.
+func TestGroupEvictionStealsBatches(t *testing.T) {
+	p, _ := newPoolDisk(t, 64) // 64 frames -> 8 shards of 8
+	if len(p.shards) < 2 {
+		t.Skip("single-shard pool cannot steal")
+	}
+
+	// Over-fill the pool with pages, flushing each so every cached frame
+	// ends up clean — the write-behind flusher's steady state, which is
+	// exactly when group eviction is supposed to pay off.
+	byShard := make(map[*shard][]page.PageID)
+	for i := 0; i < 192; i++ {
+		f, err := p.NewPage(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := f.ID()
+		p.Unpin(f, false, 0)
+		if err := p.FlushPage(id); err != nil {
+			t.Fatal(err)
+		}
+		byShard[p.shardOf(id)] = append(byShard[p.shardOf(id)], id)
+	}
+
+	// Direct check: one steal away from a full clean pool yields a full
+	// batch, and no sibling is drained below its last frame.
+	victim := p.shards[0]
+	got := p.stealFrames(victim)
+	if len(got) != stealBatch {
+		t.Fatalf("stealFrames migrated %d frames, want a full batch of %d", len(got), stealBatch)
+	}
+	for _, f := range got {
+		if f.state != stateFree || f.pins != 0 {
+			t.Fatalf("stolen frame in state %d with %d pins", f.state, f.pins)
+		}
+	}
+	for _, s := range p.shards {
+		if s == victim {
+			continue
+		}
+		s.lock()
+		n := len(s.frames)
+		s.mu.Unlock()
+		if n < 1 {
+			t.Fatal("steal drained a sibling shard bare")
+		}
+	}
+	// Adopt the orphans so the pool stays consistent for part two.
+	victim.lock()
+	for _, f := range got {
+		f.home = victim
+		victim.frames = append(victim.frames, f)
+	}
+	victim.mu.Unlock()
+
+	// End-to-end check: pin every cached page of one other shard, then
+	// fetch an uncached page that hashes to it. With no local victim the
+	// miss must be served by one steal operation migrating several frames.
+	var busy *shard
+	var uncached page.PageID
+	for _, s := range p.shards[1:] {
+		s.lock()
+		var miss page.PageID
+		for _, id := range byShard[s] {
+			if _, ok := s.table[id]; !ok {
+				miss = id
+				break
+			}
+		}
+		s.mu.Unlock()
+		if miss != 0 {
+			busy, uncached = s, miss
+			break
+		}
+	}
+	if busy == nil {
+		t.Fatal("no shard has an evicted page to re-fetch")
+	}
+	busy.lock()
+	cached := make([]page.PageID, 0, len(busy.table))
+	for id := range busy.table {
+		cached = append(cached, id)
+	}
+	busy.mu.Unlock()
+	var pinned []*Frame
+	for _, id := range cached {
+		f, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, f)
+	}
+
+	f, err := p.Fetch(uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f, false, 0)
+	for _, pf := range pinned {
+		p.Unpin(pf, false, 0)
+	}
+
+	snap := p.Metrics().Snapshot()
+	steals, batches := snap["buffer.frame_steals"], snap["buffer.steal_batches"]
+	if batches == 0 {
+		t.Fatal("pinned-shard miss never triggered a steal")
+	}
+	if steals <= batches {
+		t.Errorf("steals %d / batches %d: group eviction never migrated more than one frame per operation", steals, batches)
+	}
+}

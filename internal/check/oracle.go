@@ -35,26 +35,65 @@ func OracleFromLog(l *wal.Log, baseline map[page.RID][]byte) map[page.RID][]byte
 		want[rid] = append([]byte(nil), pred...)
 	}
 	l.Scan(1, func(r *wal.Record) bool {
-		if !committed[r.Txn] {
-			return true
-		}
-		e, err := page.DecodeEntry(r.Body, true)
-		if err != nil {
-			return true
-		}
-		switch r.Type {
-		case wal.RecAddLeafEntry:
-			want[e.RID] = append([]byte(nil), e.Pred...)
-		case wal.RecAddLeafEntry | wal.ClrFlag:
-			delete(want, e.RID)
-		case wal.RecMarkLeafEntry:
-			delete(want, e.RID)
-		case wal.RecMarkLeafEntry | wal.ClrFlag:
-			want[e.RID] = append([]byte(nil), e.Pred...)
-		}
+		applyOracleRecord(want, committed, r)
 		return true
 	})
 	return want
+}
+
+// applyOracleRecord folds one log record of a committed transaction into the
+// oracle's RID → predicate map. Last-writer-wins set/delete semantics, so
+// re-applying the same record sequence in the same order is idempotent.
+func applyOracleRecord(want map[page.RID][]byte, committed map[page.TxnID]bool, r *wal.Record) {
+	if !committed[r.Txn] {
+		return
+	}
+	e, err := page.DecodeEntry(r.Body, true)
+	if err != nil {
+		return
+	}
+	switch r.Type {
+	case wal.RecAddLeafEntry:
+		want[e.RID] = append([]byte(nil), e.Pred...)
+	case wal.RecAddLeafEntry | wal.ClrFlag:
+		delete(want, e.RID)
+	case wal.RecMarkLeafEntry:
+		delete(want, e.RID)
+	case wal.RecMarkLeafEntry | wal.ClrFlag:
+		want[e.RID] = append([]byte(nil), e.Pred...)
+	}
+}
+
+// FoldBaseline advances baseline in place across the log records below
+// upTo, using commit information from the entire current log. The crash
+// harness calls it immediately before truncating the head at upTo: the
+// records about to be discarded are folded into the baseline, so a later
+// OracleFromLog over the truncated (or untruncated, if the truncation never
+// became durable) survivor log composes with the folded baseline to the
+// same committed state.
+//
+// Correctness leans on the truncation bound's own invariant: upTo never
+// passes the firstLSN of any transaction alive when the bound was computed,
+// so every transaction with a record below upTo has already terminated and
+// its commit/abort record is in the log this scan reads. The fold is also
+// idempotent against re-replay: if the cut does not survive the crash,
+// OracleFromLog re-applies the same records over the folded baseline with
+// identical last-writer-wins results.
+func FoldBaseline(l *wal.Log, baseline map[page.RID][]byte, upTo page.LSN) {
+	committed := make(map[page.TxnID]bool)
+	l.Scan(1, func(r *wal.Record) bool {
+		if r.Type == wal.RecCommit {
+			committed[r.Txn] = true
+		}
+		return true
+	})
+	l.Scan(1, func(r *wal.Record) bool {
+		if r.LSN >= upTo {
+			return false
+		}
+		applyOracleRecord(baseline, committed, r)
+		return true
+	})
 }
 
 // VerifyOracle compares the live entries of a structural report against the

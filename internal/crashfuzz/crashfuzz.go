@@ -1,11 +1,14 @@
 // Package crashfuzz is a deterministic, seeded crash-point harness for the
 // full recovery stack. One run builds a file-backed database (file WAL +
-// file page store with its double-write journal, all beneath one shared
-// storage.CrashPoint), drives a mixed concurrent workload — inserts,
-// deletes, splits, GC and node deletion, savepoints with partial rollback,
-// deliberate aborts, fuzzy checkpoints — and kills the machine at an
-// arbitrary byte offset of an arbitrary write: the admitted prefix of that
-// write persists (a torn WAL frame or a torn page), everything after fails.
+// its truncation journal + file page store with its double-write journal,
+// all beneath one shared storage.CrashPoint), drives a mixed concurrent
+// workload — inserts, deletes, splits, GC and node deletion, savepoints
+// with partial rollback, deliberate aborts, and a mid-workload maintenance
+// burst (fuzzy checkpoint plus crash-atomic log head truncation through the
+// sidecar journal) — and kills the machine at an arbitrary byte offset of
+// an arbitrary write: the admitted prefix of that write persists (a torn
+// WAL frame, a torn page, or a torn truncation rewrite), everything after
+// fails.
 // The survivor files are reopened, ARIES restart runs (optionally torn by a
 // second crash mid-recovery, then restarted again), and the result is
 // validated three ways: structural invariants (internal/check), the
@@ -35,6 +38,7 @@ import (
 	"repro/internal/gist"
 	"repro/internal/heap"
 	"repro/internal/lock"
+	"repro/internal/maintenance"
 	"repro/internal/page"
 	"repro/internal/predicate"
 	"repro/internal/recovery"
@@ -72,7 +76,7 @@ type Result struct {
 	Budget         int64
 	RecoveryBudget int64
 	TotalBytes     int64  // calibration only: post-setup bytes of a crash-free run
-	CrashSite      string // "wal", "pages", "dw", "explicit" (ran past the budget)
+	CrashSite      string // "wal", "walt", "pages", "dw", "explicit" (ran past the budget)
 	TailType       string // type of the last record in the survivor log
 	SecondCrash    bool   // the mid-recovery crash point actually fired
 	Restarts       int
@@ -98,6 +102,7 @@ type machine struct {
 	tm    *txn.Manager
 	heap  *heap.File
 	tree  *gist.Tree
+	maint *maintenance.Manager
 }
 
 func openMachine(dir string, cp *storage.CrashPoint, poolPages int) (*machine, error) {
@@ -105,9 +110,17 @@ func openMachine(dir string, cp *storage.CrashPoint, poolPages int) (*machine, e
 	if err != nil {
 		return nil, err
 	}
-	l, err := wal.OpenFileLogHandle(storage.NewCrashFile(lf, cp, "wal"))
+	tf, err := os.OpenFile(filepath.Join(dir, "wal.log"+wal.TruncSuffix), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		lf.Close()
+		return nil, err
+	}
+	l, err := wal.OpenFileLogHandles(
+		storage.NewCrashFile(lf, cp, "wal"),
+		storage.NewCrashFile(tf, cp, "walt"))
+	if err != nil {
+		lf.Close()
+		tf.Close()
 		return nil, fmt.Errorf("crashfuzz: reopen wal: %w", err)
 	}
 	df, err := os.OpenFile(filepath.Join(dir, "pages.db"), os.O_RDWR|os.O_CREATE, 0o644)
@@ -207,6 +220,22 @@ func Run(cfg Config) (*Result, error) {
 	}
 	m.tree = tree
 	anchor := tree.Anchor()
+	// Manual maintenance manager: writer 0 drives its ticks mid-workload so
+	// the crash point can land inside the checkpoint, the flush storm, the
+	// GC burst, or the crash-atomic head truncation itself. Aggressive
+	// thresholds so a short workload actually exercises every path.
+	m.maint = maintenance.New(maintenance.Deps{
+		Log:   m.log,
+		TM:    m.tm,
+		Pool:  m.pool,
+		Disk:  m.disk,
+		Trees: func() []*gist.Tree { return []*gist.Tree{m.tree} },
+	}, maintenance.Options{
+		Manual:          true,
+		FlushBatch:      8,
+		GCDeadThreshold: 1,
+		GCBurstLeaves:   4,
+	})
 
 	mdl := &model{live: make(map[int64]page.RID), maybe: make(map[int64]bool)}
 	if err := setup(m, mdl); err != nil {
@@ -249,7 +278,7 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(gid int) {
 			defer wg.Done()
-			runWriter(m, mdl, cp, cfg.Seed, gid, writers, opsPerWriter, bug)
+			runWriter(m, mdl, cp, cfg.Seed, gid, writers, opsPerWriter, baseline, bug)
 		}(g)
 	}
 	wg.Wait()
@@ -423,11 +452,13 @@ func insertKV(m *machine, tx *txn.Txn, k int64) (page.RID, error) {
 
 // runWriter is one concurrent committer: a seeded op stream of inserts,
 // deletes of its own keys, savepoint dances, searches, deliberate aborts,
-// GC passes, and (writer 0) a fuzzy checkpoint. Failures after the crash
-// point fires are expected; failures before it are reported as bugs. Locks
-// of transactions that cannot finish cleanly are force-released so peers
-// never hang on a zombie.
-func runWriter(m *machine, mdl *model, cp *storage.CrashPoint, seed int64, gid, writers, ops int, bug func(string, ...any)) {
+// GC passes, and (writer 0) a mid-workload maintenance burst — write-behind
+// flush, fuzzy checkpoint, crash-atomic log head truncation, and a paced GC
+// tick, all through the maintenance manager's manual hooks. Failures after
+// the crash point fires are expected; failures before it are reported as
+// bugs. Locks of transactions that cannot finish cleanly are force-released
+// so peers never hang on a zombie.
+func runWriter(m *machine, mdl *model, cp *storage.CrashPoint, seed int64, gid, writers, ops int, baseline map[page.RID][]byte, bug func(string, ...any)) {
 	wrng := rand.New(rand.NewSource(seed*1315423911 + int64(gid+1)))
 	nextKey := int64(gid+1) * 1_000_000
 
@@ -470,20 +501,30 @@ func runWriter(m *machine, mdl *model, cp *storage.CrashPoint, seed int64, gid, 
 			return
 		}
 		if gid == 0 && i == ops/2 {
-			// Fuzzy checkpoint mid-workload (ATT/DPT record plus a
-			// page-write storm), without head truncation — the log
-			// rewrite in DiscardBefore is not crash-atomic, so
-			// truncation stays confined to the durable setup phase.
-			if _, err := m.tm.Checkpoint(m.pool.DirtyPages); err != nil {
+			// Mid-workload maintenance burst through the manual tick
+			// hooks: trickle-flush the oldest dirty frames, force a fuzzy
+			// checkpoint, and advance the log head through the
+			// crash-atomic truncation protocol (intent record + sidecar
+			// journal, crash site "walt") — the crash point stays armed
+			// throughout, so any byte of the rewrite can tear. The
+			// records about to be discarded are folded into the oracle
+			// baseline first; FoldBaseline is idempotent against the cut
+			// not becoming durable.
+			if _, err := m.maint.TickFlush(); err != nil && !benign(err) {
+				bug("writer 0 maintenance flush: %v", err)
+			}
+			if _, err := m.maint.TickCheckpoint(true); err != nil {
 				if !benign(err) {
-					bug("writer 0 checkpoint: %v", err)
+					bug("writer 0 maintenance checkpoint: %v", err)
 				}
-			} else if err := m.pool.FlushAll(); err != nil {
-				if !benign(err) {
-					bug("writer 0 checkpoint flush: %v", err)
+			} else if bound := m.maint.TruncationBound(); bound > m.log.Base()+1 {
+				check.FoldBaseline(m.log, baseline, bound)
+				if _, err := m.maint.TruncateTo(bound); err != nil && !benign(err) {
+					bug("writer 0 maintenance truncate: %v", err)
 				}
-			} else if err := m.disk.Sync(); err != nil && !benign(err) {
-				bug("writer 0 checkpoint sync: %v", err)
+			}
+			if _, err := m.maint.TickGC(); err != nil && !benign(err) {
+				bug("writer 0 maintenance gc: %v", err)
 			}
 		}
 

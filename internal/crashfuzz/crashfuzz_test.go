@@ -65,6 +65,9 @@ func TestCrashFuzz(t *testing.T) {
 	if sites["wal"] == 0 {
 		t.Error("corpus never tore a WAL write")
 	}
+	if sites["walt"] == 0 && tails["Truncate"] == 0 {
+		t.Error("corpus never exercised the crash-atomic truncation path")
+	}
 	if sites["pages"]+sites["dw"] == 0 {
 		t.Error("corpus never tore a data-page or journal write")
 	}

@@ -77,6 +77,7 @@ func (t *Tree) Delete(tx *txn.Txn, key []byte, rid page.RID) error {
 						Body: old,
 					})
 					f.Page.SetLSN(lsn)
+					t.Stats.Marks.Add(1)
 					// Retain the signaling lock on the leaf
 					// until transaction end: undo must be
 					// able to re-walk this chain.
@@ -295,24 +296,33 @@ func (o *op) tryDeleteNode(f *buffer.Frame, stack []pathEntry) {
 	t.Stats.NodeDeletes.Add(1)
 }
 
-// GCAll walks the whole tree and garbage-collects every leaf — the
-// maintenance pass a DBMS would run in the background. Node deletions are
-// attempted for emptied leaves when a path context is available.
-func (t *Tree) GCAll(tx *txn.Txn) error {
+// LeafRef names one leaf page together with the parent that pointed at it
+// during collection, so that a later GC pass has the path context node
+// deletion needs (removing the parent entry). Parent is InvalidPage when
+// the leaf is the root.
+type LeafRef struct {
+	Leaf   page.PageID
+	Parent page.PageID
+}
+
+// CollectLeafRefs walks the tree breadth-first and returns a reference to
+// every leaf. The snapshot is advisory: by the time a ref is consumed the
+// leaf may have been deleted or its parent changed, and GCLeafRefs treats
+// both as a skip. The maintenance GC sweeper uses this to refill its paced
+// burst queue.
+func (t *Tree) CollectLeafRefs(tx *txn.Txn) ([]LeafRef, error) {
 	o := t.opEnter(tx)
 	defer o.exit()
+	return o.collectLeafRefs()
+}
+
+func (o *op) collectLeafRefs() ([]LeafRef, error) {
+	t := o.t
 	root, err := t.rootID()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	// Collect each leaf together with the parent that pointed at it so
-	// that node deletion (which must remove the parent entry) has its
-	// path context.
-	type leafRef struct {
-		pg     page.PageID
-		parent page.PageID // InvalidPage when the leaf is the root
-	}
-	var leaves []leafRef
+	var leaves []LeafRef
 	frontier := []page.PageID{root}
 	visited := map[page.PageID]bool{root: true}
 	for len(frontier) > 0 {
@@ -320,11 +330,11 @@ func (t *Tree) GCAll(tx *txn.Txn) error {
 		frontier = frontier[:len(frontier)-1]
 		f, err := o.fetch(pg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		o.latchPage(f, latch.S)
 		if f.Page.IsLeaf() {
-			leaves = append(leaves, leafRef{pg: pg})
+			leaves = append(leaves, LeafRef{Leaf: pg, Parent: page.InvalidPage})
 		} else {
 			leafLevelBelow := f.Page.Level() == 1
 			for i := 0; i < f.Page.NumSlots(); i++ {
@@ -337,7 +347,7 @@ func (t *Tree) GCAll(tx *txn.Txn) error {
 				}
 				visited[e.Child] = true
 				if leafLevelBelow {
-					leaves = append(leaves, leafRef{pg: e.Child, parent: pg})
+					leaves = append(leaves, LeafRef{Leaf: e.Child, Parent: pg})
 				} else {
 					frontier = append(frontier, e.Child)
 				}
@@ -350,22 +360,38 @@ func (t *Tree) GCAll(tx *txn.Txn) error {
 		o.unlatchPage(f, latch.S)
 		t.pool.Unpin(f, false, 0)
 	}
-	for _, lr := range leaves {
+	return leaves, nil
+}
+
+// GCLeafRefs garbage-collects the referenced leaves: for each one it builds
+// the single-level path context from the recorded parent, collects committed
+// deleted entries, and attempts node deletion for emptied leaves. Stale refs
+// (deallocated or no-longer-fetchable pages) are skipped — the refs are a
+// snapshot and the tree may have moved on.
+func (t *Tree) GCLeafRefs(tx *txn.Txn, refs []LeafRef) error {
+	o := t.opEnter(tx)
+	defer o.exit()
+	return o.gcLeafRefs(refs)
+}
+
+func (o *op) gcLeafRefs(refs []LeafRef) error {
+	t := o.t
+	for _, lr := range refs {
 		var stack []pathEntry
-		if lr.parent != page.InvalidPage {
-			pf, err := o.fetch(lr.parent)
+		if lr.Parent != page.InvalidPage {
+			pf, err := o.fetch(lr.Parent)
 			if err != nil {
-				return err
+				continue // stale parent ref: skip, a later pass retries
 			}
-			stack = []pathEntry{{pg: lr.parent, f: pf}}
+			stack = []pathEntry{{pg: lr.Parent, f: pf}}
 		}
-		f, err := o.fetch(lr.pg)
+		f, err := o.fetch(lr.Leaf)
 		if err != nil {
 			o.releasePath(stack)
-			return err
+			continue // stale leaf ref
 		}
 		o.latchPage(f, latch.X)
-		if f.Page.Flags()&page.FlagDeallocated == 0 {
+		if f.Page.IsLeaf() && f.Page.Flags()&page.FlagDeallocated == 0 {
 			o.gcLeafLocked(f, stack)
 		}
 		o.unlatchPage(f, latch.X)
@@ -373,6 +399,34 @@ func (t *Tree) GCAll(tx *txn.Txn) error {
 		o.releasePath(stack)
 	}
 	return nil
+}
+
+// GCAll walks the whole tree and garbage-collects every leaf — the
+// maintenance pass a DBMS would run in the background (the paced sweeper in
+// internal/maintenance runs the same two phases in bursts). Node deletions
+// are attempted for emptied leaves when a path context is available.
+func (t *Tree) GCAll(tx *txn.Txn) error {
+	o := t.opEnter(tx)
+	defer o.exit()
+	leaves, err := o.collectLeafRefs()
+	if err != nil {
+		return err
+	}
+	return o.gcLeafRefs(leaves)
+}
+
+// DeadEntries reports the tree's surviving logically-deleted entry
+// population: entries marked, minus rollback unmarks, minus entries
+// physically reclaimed by GC. The count restarts at zero after a reopen
+// (pre-crash marks are invisible to it); the sweeper's periodic full pass
+// covers that blind spot. Clamped at zero because post-restart GC can
+// reclaim entries this process never counted as marked.
+func (t *Tree) DeadEntries() int64 {
+	d := t.Stats.Marks.Load() - t.Stats.Unmarks.Load() - t.Stats.GCEntries.Load()
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Destroy walks the whole tree and frees every node page plus the anchor,

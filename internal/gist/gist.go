@@ -119,6 +119,13 @@ type Stats struct {
 	PredBlocks      atomic.Int64
 	LatchlessIOs    atomic.Int64
 	LatchedIOs      atomic.Int64
+
+	// Dead-entry accounting for the GC pacer: Marks counts logical
+	// deletions (entries marked), Unmarks their rollbacks. The surviving
+	// population — Marks − Unmarks − GCEntries — is what DeadEntries
+	// reports.
+	Marks   atomic.Int64
+	Unmarks atomic.Int64
 }
 
 // Tree is an open generalized search tree.

@@ -115,6 +115,7 @@ func (t *Tree) undoMarkLeafEntry(r *wal.Record, tx *txn.Txn) error {
 		if err := p.UnmarkDeleted(slot); err != nil {
 			return 0, err
 		}
+		t.Stats.Unmarks.Add(1)
 		lsn := tx.LogCLR(&wal.Record{
 			Type: wal.RecMarkLeafEntry,
 			Pg:   p.ID(),

@@ -1,0 +1,490 @@
+// Tests for the background maintenance subsystem. They live in an external
+// test package so they can drive the daemons through the real gistdb facade
+// (Open wires Deps exactly as production does) — the facade imports this
+// package, not the other way round, so no cycle.
+package maintenance_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	gistdb "repro"
+	"repro/internal/btree"
+)
+
+// openManual opens an in-memory DB whose maintenance manager runs no
+// goroutines: every daemon action happens only on an explicit Tick* call.
+func openManual(t *testing.T, mo gistdb.MaintenanceOptions) *gistdb.DB {
+	t.Helper()
+	mo.Manual = true
+	db, err := gistdb.Open(gistdb.Options{
+		MaxEntries:  8,
+		Maintenance: &mo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// churn commits n single-insert transactions against idx and returns the
+// RIDs, so tests have committed log traffic and live records to point at.
+func churn(t *testing.T, db *gistdb.DB, idx *gistdb.Index, lo, n int) []gistdb.RID {
+	t.Helper()
+	rids := make([]gistdb.RID, 0, n)
+	for i := lo; i < lo+n; i++ {
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid, err := idx.Insert(tx, btree.EncodeKey(int64(i)), []byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	return rids
+}
+
+// TestManualTicksAreDeterministic runs the same workload plus the same tick
+// sequence against two fresh databases and demands bit-identical maintenance
+// outcomes: same checkpoint count, same truncation point, same flush and GC
+// totals. This is the property the crash-fuzz harness leans on — with
+// Manual set, the daemons add zero nondeterminism to a seeded run.
+func TestManualTicksAreDeterministic(t *testing.T) {
+	run := func() (metrics map[string]int64, base, last uint64) {
+		db := openManual(t, gistdb.MaintenanceOptions{
+			CheckpointBytes: 1 << 30, // byte trigger never trips on its own
+			FlushBatch:      8,
+			GCDeadThreshold: 1,
+			GCBurstLeaves:   4,
+		})
+		idx, err := db.CreateIndex("det", btree.Ops{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids := churn(t, db, idx, 0, 64)
+		// Delete half so GC has work.
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 32; i++ {
+			if err := idx.Delete(tx, btree.EncodeKey(int64(i)), rids[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+
+		m := db.Maintenance()
+		if took, err := m.TickCheckpoint(false); err != nil || took {
+			t.Fatalf("untripped byte trigger checkpointed: took=%v err=%v", took, err)
+		}
+		if took, err := m.TickCheckpoint(true); err != nil || !took {
+			t.Fatalf("forced checkpoint: took=%v err=%v", took, err)
+		}
+		for {
+			n, err := m.TickFlush()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+		}
+		// Second checkpoint after the flush so the DPT entries drained
+		// above no longer pin the redo point, then cut the head.
+		if _, err := m.TickCheckpoint(true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.TickTruncate(); err != nil {
+			t.Fatal(err)
+		}
+		if n, err := m.TickTruncate(); err != nil || n != 0 {
+			t.Fatalf("second truncation with no new traffic cut %d bytes, err=%v", n, err)
+		}
+		// A zero-reclaim tick does not mean the sweep is done — a burst can
+		// land on leaves with no dead entries — so drive the loop by the
+		// dead-entry gauge with a generous tick bound.
+		for i := 0; i < 64 && db.Metrics()["maint.dead_entries"] > 0; i++ {
+			if _, err := m.TickGC(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db.Metrics(), uint64(db.WAL().Base()), uint64(db.WAL().LastLSN())
+	}
+
+	m1, base1, last1 := run()
+	m2, base2, last2 := run()
+	if base1 != base2 || last1 != last2 {
+		t.Errorf("log shape diverged: base %d vs %d, last %d vs %d", base1, base2, last1, last2)
+	}
+	if base1 == 0 {
+		t.Error("truncation never advanced the head")
+	}
+	for _, k := range []string{
+		"maint.checkpoints", "maint.truncations", "maint.truncated_bytes",
+		"maint.flush_pages", "maint.gc_bursts", "maint.gc_reclaimed",
+	} {
+		if m1[k] != m2[k] {
+			t.Errorf("%s diverged: %d vs %d", k, m1[k], m2[k])
+		}
+	}
+	if m1["maint.gc_reclaimed"] == 0 {
+		t.Error("GC reclaimed nothing")
+	}
+}
+
+// TestCheckpointByteTrigger checks the autonomous trigger arithmetic:
+// TickCheckpoint(false) fires exactly when the bytes appended since the
+// last checkpoint pass CheckpointBytes.
+func TestCheckpointByteTrigger(t *testing.T) {
+	db := openManual(t, gistdb.MaintenanceOptions{CheckpointBytes: 4 << 10})
+	idx, err := db.CreateIndex("trig", btree.Ops{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := db.Maintenance()
+	fired := 0
+	for i := 0; i < 256; i++ {
+		churn(t, db, idx, i*4, 4)
+		took, err := m.TickCheckpoint(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if took {
+			fired++
+		}
+	}
+	if fired < 2 {
+		t.Fatalf("byte trigger fired %d times across 1024 committed inserts", fired)
+	}
+	if got := db.Metrics()["maint.checkpoints"]; got != int64(fired) {
+		t.Errorf("maint.checkpoints = %d, want %d", got, fired)
+	}
+}
+
+// TestTruncatorRespectsActiveTxn pins the undo-safety invariant: the head
+// never advances past the first LSN of a live transaction, however many
+// checkpoints intervene, because that transaction may still need its whole
+// log chain for rollback.
+func TestTruncatorRespectsActiveTxn(t *testing.T) {
+	db := openManual(t, gistdb.MaintenanceOptions{})
+	idx, err := db.CreateIndex("pin", btree.Ops{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, db, idx, 0, 50)
+
+	// A transaction that stays open across the maintenance cycle. Its
+	// first record lands at firstLSN > lsnBefore.
+	lsnBefore := db.WAL().LastLSN()
+	pinTx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinRID, err := idx.Insert(pinTx, btree.EncodeKey(10_000), []byte("pinned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, db, idx, 100, 50)
+
+	m := db.Maintenance()
+	if _, err := m.TickCheckpoint(true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TickTruncate(); err != nil {
+		t.Fatal(err)
+	}
+	if base := db.WAL().Base(); base > lsnBefore {
+		t.Fatalf("head %d cut past live txn's first LSN (> %d)", base, lsnBefore)
+	}
+	// The pinned transaction must still be able to roll back — its undo
+	// chain is exactly what the bound protected.
+	if err := pinTx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, err := idx.Search(tx, btree.EncodeKey(10_000), gistdb.ReadCommitted); err != nil {
+		t.Fatal(err)
+	} else if len(hits) != 0 {
+		t.Fatalf("aborted insert still visible: %v", hits)
+	}
+	_ = pinRID
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With the pin gone the next cycle may advance the head freely.
+	if _, err := m.TickCheckpoint(true); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		n, err := m.TickFlush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if _, err := m.TickCheckpoint(true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TickTruncate(); err != nil {
+		t.Fatal(err)
+	}
+	if base := db.WAL().Base(); base <= lsnBefore {
+		t.Errorf("head %d did not advance after the pinning txn finished", base)
+	}
+	// Everything retained must stay readable; everything live must stay
+	// searchable after restart from the truncated log.
+	survivor, err := db.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+	idx2, err := survivor.OpenIndex("pin", btree.Ops{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := survivor.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{0, 49, 100, 149} {
+		hits, err := idx2.Search(tx2, btree.EncodeKey(k), gistdb.ReadCommitted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != 1 {
+			t.Errorf("key %d: %d hits after restart from truncated log", k, len(hits))
+		}
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCReclaimsAndPreservesLiveEntries drives the paced sweeper to a fixed
+// point and checks both directions: dead entries are physically reclaimed,
+// live entries survive untouched.
+func TestGCReclaimsAndPreservesLiveEntries(t *testing.T) {
+	db := openManual(t, gistdb.MaintenanceOptions{GCDeadThreshold: 1, GCBurstLeaves: 4})
+	idx, err := db.CreateIndex("gc", btree.Ops{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids := churn(t, db, idx, 0, 200)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i += 2 {
+		if err := idx.Delete(tx, btree.EncodeKey(int64(i)), rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := db.Maintenance()
+	for i := 0; i < 64 && db.Metrics()["maint.dead_entries"] > 0; i++ {
+		if _, err := m.TickGC(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bursts := int(db.Metrics()["maint.gc_bursts"])
+	if got := db.Metrics()["maint.gc_reclaimed"]; got != 100 {
+		t.Errorf("maint.gc_reclaimed = %d, want 100", got)
+	}
+	// Pacing: the burst cap means one tick cannot have swept the whole
+	// tree (200 entries across > GCBurstLeaves leaves at MaxEntries 8).
+	if bursts < 2 {
+		t.Errorf("sweep finished in %d burst(s); pacing cap not exercised", bursts)
+	}
+	tx2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		hits, err := idx.Search(tx2, btree.EncodeKey(int64(i)), gistdb.ReadCommitted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := i % 2 // even keys deleted, odd keys live
+		if len(hits) != want {
+			t.Fatalf("key %d: %d hits after GC, want %d", i, len(hits), want)
+		}
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := idx.Check()
+	if err != nil {
+		t.Fatalf("tree invariants broken after GC: %v", err)
+	}
+	if rep.Entries != 100 || rep.Marked != 0 {
+		t.Errorf("after GC: %d live entries (want 100), %d still delete-marked (want 0)", rep.Entries, rep.Marked)
+	}
+}
+
+// TestDaemonStopCloseRace exercises the goroutine mode under load: daemons
+// ticking at 1ms against a concurrent foreground workload, then Close racing
+// the in-flight ticks. Run under -race (the CI race job covers internal/...)
+// this is the regression net for the tickMu → db.mu lock order.
+func TestDaemonStopCloseRace(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		db, err := gistdb.Open(gistdb.Options{
+			MaxEntries: 8,
+			Maintenance: &gistdb.MaintenanceOptions{
+				CheckpointBytes:    16 << 10,
+				CheckpointPoll:     time.Millisecond,
+				CheckpointInterval: 5 * time.Millisecond,
+				TruncateInterval:   time.Millisecond,
+				FlushInterval:      time.Millisecond,
+				FlushMinDirty:      1,
+				GCInterval:         time.Millisecond,
+				GCDeadThreshold:    1,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := db.Metrics()["maint.running"]; got != 1 {
+			t.Fatalf("maint.running = %d after Open", got)
+		}
+		idx, err := db.CreateIndex("race", btree.Ops{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					tx, err := db.Begin()
+					if err != nil {
+						return // closed under us: expected at round end
+					}
+					k := int64(w*1_000_000 + i)
+					rid, err := idx.Insert(tx, btree.EncodeKey(k), []byte("r"))
+					if err == nil && i%3 == 0 {
+						err = idx.Delete(tx, btree.EncodeKey(k), rid)
+					}
+					if err != nil {
+						tx.Abort()
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						return
+					}
+				}
+			}(w)
+		}
+		time.Sleep(20 * time.Millisecond)
+		// Pause/Resume mid-flight (the DropIndex path).
+		db.Maintenance().Pause()
+		db.Maintenance().Resume()
+		close(stop)
+		wg.Wait()
+		m := db.Maintenance()
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Stop after Close (and concurrently with itself) is idempotent.
+		var sg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			sg.Add(1)
+			go func() { defer sg.Done(); m.Stop() }()
+		}
+		sg.Wait()
+		if got := m.Metrics().Snapshot()["maint.running"]; got != 0 {
+			t.Fatalf("maint.running = %d after Close", got)
+		}
+	}
+}
+
+// TestSimulateCrashSwapsDaemons checks the crash path: the dying instance's
+// daemons are stopped before recovery and the survivor gets a fresh running
+// manager wired to the recovered components.
+func TestSimulateCrashSwapsDaemons(t *testing.T) {
+	db, err := gistdb.Open(gistdb.Options{
+		MaxEntries: 8,
+		Maintenance: &gistdb.MaintenanceOptions{
+			CheckpointPoll:   2 * time.Millisecond,
+			TruncateInterval: 2 * time.Millisecond,
+			FlushInterval:    2 * time.Millisecond,
+			GCInterval:       2 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.CreateIndex("crash", btree.Ops{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Insert(tx, btree.EncodeKey(1), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	old := db.Maintenance()
+	survivor, err := db.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+	if got := old.Metrics().Snapshot()["maint.running"]; got != 0 {
+		t.Errorf("crashed instance's daemons still running (gauge %d)", got)
+	}
+	if survivor.Maintenance() == old {
+		t.Fatal("survivor reuses the crashed manager")
+	}
+	if got := survivor.Metrics()["maint.running"]; got != 1 {
+		t.Errorf("survivor daemons not running (gauge %d)", got)
+	}
+	idx2, err := survivor.OpenIndex("crash", btree.Ops{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := survivor.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx2.Search(tx2, btree.EncodeKey(1), gistdb.ReadCommitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Errorf("committed record lost across crash: %d hits", len(hits))
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -252,8 +252,14 @@ func (p *Page) InsertBytes(body []byte) (int, error) {
 	if len(body)+slotSize > Size-HeaderSize {
 		return 0, ErrTooLarge
 	}
-	if p.FreeSpace() < len(body) {
-		if p.FreeSpaceAfterCompaction() < len(body) {
+	// The free computation must be unclamped: FreeSpace() floors at zero,
+	// which on a page whose directory has grown within slotSize of freeEnd
+	// (tiny bodies, many slots) would overstate the post-compaction room and
+	// let the copy below overwrite the tail of the slot directory — the same
+	// hazard ResurrectSlot guards against.
+	free := int(p.u16(offFreeEnd)) - HeaderSize - p.NumSlots()*slotSize - slotSize
+	if free < len(body) {
+		if free+int(p.u16(offGarbage)) < len(body) {
 			return 0, ErrPageFull
 		}
 		p.Compact()
@@ -295,9 +301,11 @@ func (p *Page) ReplaceBytes(i int, body []byte) error {
 		copy(p.buf[off:int(off)+len(body)], body)
 		return nil
 	}
-	// Different size: release old space, allocate new.
+	// Different size: release old space, allocate new. avail is unclamped
+	// (see InsertBytes): the existing slot is reused, so only the raw gap
+	// between the directory and freeEnd matters.
 	needed := len(body)
-	avail := p.FreeSpace() + slotSize // replacing reuses the existing slot
+	avail := int(p.u16(offFreeEnd)) - HeaderSize - p.NumSlots()*slotSize
 	garbage := int(p.u16(offGarbage)) + int(length)
 	if avail < needed {
 		if avail+garbage < needed {

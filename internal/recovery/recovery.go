@@ -391,7 +391,7 @@ func Checkpoint(tm *txn.Manager, pool *buffer.Pool, disk storage.Manager) (page.
 	if m := tm.MinActiveFirstLSN(); m != 0 && m < bound {
 		bound = m
 	}
-	if err := tm.Log().DiscardBefore(bound); err != nil {
+	if _, err := tm.Log().DiscardBefore(bound); err != nil {
 		return 0, err
 	}
 	return lsn, nil

@@ -87,10 +87,20 @@ type Log struct {
 	// File state. ioMu serializes batch cuts and all file I/O so batches
 	// reach the file in LSN order no matter which path runs them; it is
 	// always taken before mu, never while holding it. goodOffset is the
-	// file length known written (touched only under ioMu).
+	// file length known written (touched only under ioMu). truncFile is the
+	// head-truncation sidecar journal: DiscardBefore stages the surviving
+	// suffix there (write+sync) before rewriting the main file, so a crash
+	// at any byte of the rewrite is repaired idempotently at the next open.
 	file       File
+	truncFile  File
 	ioMu       sync.Mutex
 	goodOffset int64
+
+	// appended counts bytes appended over the log's lifetime (frame bytes
+	// for file logs, an encoding-size estimate for in-memory logs); the
+	// maintenance checkpointer uses the delta since its last checkpoint as
+	// its byte trigger.
+	appended atomic.Int64
 
 	// Commit queue and flusher goroutine (file-backed logs only).
 	qmu       sync.Mutex
@@ -165,6 +175,7 @@ func (l *Log) init() {
 	l.reg.Gauge("wal.stage_slots", func() int64 { return int64(n) })
 	l.reg.Gauge("wal.last_lsn", func() int64 { return int64(l.next.Load()) })
 	l.reg.Gauge("wal.flushed_lsn", func() int64 { return int64(l.flushed.Load()) })
+	l.reg.Gauge("wal.appended_bytes", func() int64 { return l.appended.Load() })
 }
 
 // setWatermarks initializes all three watermarks to lsn (construction only).
@@ -180,47 +191,160 @@ func (l *Log) Metrics() *stats.Registry { return l.reg }
 // fileHeader is the 8-byte magic prefix of a log file.
 var fileHeader = []byte("GiSTWAL1")
 
+// truncHeader is the magic prefix of the head-truncation sidecar journal.
+var truncHeader = []byte("GiSTTRN1")
+
+// TruncSuffix is appended to a log path to name its truncation journal.
+const TruncSuffix = ".trunc"
+
 // OpenFileLog opens or creates a durable log at path, scanning any existing
 // records to rebuild the in-memory index, and starts the group-commit
 // flusher. A trailing torn record (bad CRC or truncation) ends the scan;
-// everything before it is kept.
+// everything before it is kept. The head-truncation sidecar journal lives
+// at path+TruncSuffix; a complete journal left by a crash mid-truncation is
+// re-applied before the scan.
 func OpenFileLog(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l, err := openFileLog(f)
+	tf, err := os.OpenFile(path+TruncSuffix, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		f.Close()
+		return nil, fmt.Errorf("wal: open %s: %w", path+TruncSuffix, err)
+	}
+	l, err := openFileLog(f, tf)
+	if err != nil {
+		f.Close()
+		tf.Close()
 		return nil, err
 	}
 	return l, nil
 }
 
-// OpenFileLogHandle builds a file-backed log over an already-open handle.
-// The crash harness calls it with a fault-injecting File; the caller keeps
-// ownership of the handle if the open fails.
-func OpenFileLogHandle(f File) (*Log, error) { return openFileLog(f) }
+// OpenFileLogHandle builds a file-backed log over an already-open handle,
+// without a truncation journal: DiscardBefore falls back to the direct
+// (non-crash-atomic) rewrite. The failure tests use it; production paths
+// and the crash harness pass a journal via OpenFileLogHandles.
+func OpenFileLogHandle(f File) (*Log, error) { return openFileLog(f, nil) }
 
-// openFileLog builds a file-backed log over an already-open file; the
-// failure tests call it with a fault-injecting File.
-func openFileLog(f File) (*Log, error) {
-	l := &Log{file: f}
+// OpenFileLogHandles builds a file-backed log over already-open handles for
+// the log file and its truncation sidecar journal. The crash harness calls
+// it with fault-injecting Files; the caller keeps ownership of the handles
+// if the open fails.
+func OpenFileLogHandles(f, trunc File) (*Log, error) { return openFileLog(f, trunc) }
+
+// openFileLog builds a file-backed log over already-open files; the
+// failure tests call it with fault-injecting Files.
+func openFileLog(f, trunc File) (*Log, error) {
+	l := &Log{file: f, truncFile: trunc}
 	l.init()
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err
 	}
 	if st.Size() == 0 {
+		// Fresh log: any sidecar content is a stale leftover, never a
+		// journal for this (empty) file.
+		if err := l.invalidateTruncJournal(); err != nil {
+			return nil, err
+		}
 		if _, err := f.Write(fileHeader); err != nil {
 			return nil, err
 		}
 		l.goodOffset = int64(len(fileHeader))
-	} else if err := l.scan(); err != nil {
-		return nil, err
+	} else {
+		if err := l.recoverTruncation(); err != nil {
+			return nil, err
+		}
+		if err := l.scan(); err != nil {
+			return nil, err
+		}
 	}
 	l.startFlusher()
 	return l, nil
+}
+
+// invalidateTruncJournal empties the sidecar journal (truncate + sync),
+// marking any in-progress truncation as either never-started or complete.
+func (l *Log) invalidateTruncJournal() error {
+	if l.truncFile == nil {
+		return nil
+	}
+	st, err := l.truncFile.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		return nil
+	}
+	if err := l.truncFile.Truncate(0); err != nil {
+		return err
+	}
+	return l.truncFile.Sync()
+}
+
+// recoverTruncation inspects the sidecar journal at open. A complete,
+// CRC-valid journal means a truncation had durably staged its surviving
+// suffix but may have died mid-rewrite of the main file; the rewrite is
+// re-applied (idempotently — the journal holds the exact bytes the file
+// should contain after the header) and the journal invalidated. A torn or
+// garbled journal means the crash hit the journal write itself, before the
+// main file was touched; it is simply discarded.
+func (l *Log) recoverTruncation() error {
+	if l.truncFile == nil {
+		return nil
+	}
+	st, err := l.truncFile.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		return nil
+	}
+	hdrLen := int64(len(truncHeader)) + 8
+	if st.Size() < hdrLen {
+		return l.invalidateTruncJournal()
+	}
+	if _, err := l.truncFile.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(l.truncFile, hdr); err != nil {
+		return l.invalidateTruncJournal()
+	}
+	if string(hdr[:len(truncHeader)]) != string(truncHeader) {
+		return l.invalidateTruncJournal()
+	}
+	n := binary.BigEndian.Uint32(hdr[len(truncHeader):])
+	crc := binary.BigEndian.Uint32(hdr[len(truncHeader)+4:])
+	if int64(n) != st.Size()-hdrLen {
+		return l.invalidateTruncJournal() // torn journal write
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(l.truncFile, payload); err != nil {
+		return l.invalidateTruncJournal()
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return l.invalidateTruncJournal()
+	}
+	// Valid journal: replay the rewrite. The write-order invariant (the
+	// journal is invalidated before any append reaches the file) guarantees
+	// no durable record past the journaled suffix exists, so restoring the
+	// suffix cannot lose log tail.
+	if err := l.file.Truncate(int64(len(fileHeader))); err != nil {
+		return err
+	}
+	if _, err := l.file.Seek(int64(len(fileHeader)), io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := l.file.Write(payload); err != nil {
+		return err
+	}
+	if err := l.file.Sync(); err != nil {
+		return err
+	}
+	return l.invalidateTruncJournal()
 }
 
 // startFlusher launches the dedicated group-commit goroutine.
@@ -314,6 +438,9 @@ func (l *Log) Append(r *Record) page.LSN {
 		binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
 		binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
 		copy(frame[8:], body)
+		l.appended.Add(int64(len(frame)))
+	} else {
+		l.appended.Add(recSizeEstimate(r))
 	}
 	s := l.slotOf(lsn)
 	// The slot may be claimed only once the occupant from one ring lap ago
@@ -428,6 +555,27 @@ func (l *Log) LastLSN() page.LSN {
 // FlushedLSN returns the highest durable LSN (lock-free).
 func (l *Log) FlushedLSN() page.LSN {
 	return page.LSN(l.flushed.Load())
+}
+
+// AppendedBytes returns the cumulative bytes appended to the log (framed
+// bytes for file logs, an estimate for in-memory logs). The maintenance
+// checkpointer triggers on the delta since its last checkpoint.
+func (l *Log) AppendedBytes() int64 { return l.appended.Load() }
+
+// recSizeEstimate approximates the framed size of a record without encoding
+// it, for in-memory byte accounting: the fixed header/payload scalars plus
+// the variable byte fields.
+func recSizeEstimate(r *Record) int64 {
+	n := 8 + 33 + 36 // frame + common header + fixed payload scalars
+	n += 4 + len(r.Body)
+	n += 4 + len(r.OldBody)
+	n += 4
+	for _, m := range r.Moved {
+		n += 4 + len(m)
+	}
+	n += 4 + 24*len(r.ATT)
+	n += 4 + 12*len(r.DPT)
+	return int64(n)
 }
 
 // FlushTo makes the log durable up to at least lsn. It implements
@@ -760,10 +908,53 @@ func (l *Log) memCopyLocked(upTo page.LSN) *Log {
 
 // DiscardBefore drops all records with LSN < lsn — head truncation after a
 // checkpoint has made everything before the redo point unnecessary for
-// restart. Only durable, sub-checkpoint prefixes may be discarded; the
-// caller (recovery.Checkpoint) guarantees that. For a file-backed log the
-// surviving suffix is rewritten to the file.
-func (l *Log) DiscardBefore(lsn page.LSN) error {
+// restart. Only durable prefixes may be discarded, and never past the
+// master checkpoint record: the cut is clamped to both the flushed
+// watermark and MasterCheckpoint, so analysis can always read its anchor.
+// It returns the number of bytes the cut removed from the log.
+//
+// For a file-backed log with a truncation journal the cut is a logged,
+// crash-atomic operation:
+//
+//  1. a RecTruncate intent record carrying the target LSN is appended and
+//     forced durable (ordinary append path, no locks held);
+//  2. under ioMu the surviving durable suffix is staged in the sidecar
+//     journal (magic + length + CRC + the exact post-header file image)
+//     and synced;
+//  3. the main file is truncated to its header and rewritten with the
+//     staged suffix, then synced;
+//  4. the journal is invalidated (truncate + sync).
+//
+// ioMu is held from step 2 through 4, so no append reaches the file while
+// a valid journal exists; a crash anywhere in step 3 is repaired at the
+// next open by replaying the journal, and a crash in step 2 leaves a torn
+// journal that the open discards with the main file untouched. A non-crash
+// I/O error after step 2 has begun mutating shared state fails the log
+// permanently, keeping the journal valid for the next open to replay.
+func (l *Log) DiscardBefore(lsn page.LSN) (int64, error) {
+	l.mu.Lock()
+	base, ck, failed := l.base, l.masterCk, l.failed
+	l.mu.Unlock()
+	if failed != nil {
+		return 0, failed
+	}
+	// Master-checkpoint ordering: the checkpoint record (and the chain it
+	// anchors) must stay readable after the cut.
+	if ck != 0 && lsn > ck {
+		lsn = ck
+	}
+	if lsn <= base+1 {
+		return 0, nil
+	}
+	if l.file != nil {
+		// Logged truncation intent. Forced durable before any file surgery
+		// so the cut is externally ordered after everything it retains.
+		intent := l.Append(&Record{Type: RecTruncate, NSN: lsn})
+		if err := l.FlushTo(intent); err != nil {
+			return 0, err
+		}
+	}
+
 	// ioMu first (the fixed order) so no flush batch lands mid-rewrite.
 	l.ioMu.Lock()
 	defer l.ioMu.Unlock()
@@ -771,50 +962,114 @@ func (l *Log) DiscardBefore(lsn page.LSN) error {
 	defer l.mu.Unlock()
 	l.drainLocked()
 	if lsn <= l.base+1 {
-		return nil
+		return 0, nil
 	}
 	if flushed := page.LSN(l.flushed.Load()); lsn > flushed+1 {
 		lsn = flushed + 1
 	}
 	n := int(lsn - 1 - l.base) // records to drop
 	if n <= 0 {
-		return nil
+		return 0, nil
 	}
 	if n > len(l.records) {
 		n = len(l.records)
 	}
+
+	if l.file == nil {
+		var discarded int64
+		for _, r := range l.records[:n] {
+			discarded += recSizeEstimate(r)
+		}
+		l.records = append([]*Record(nil), l.records[n:]...)
+		l.base += page.LSN(n)
+		return discarded, nil
+	}
+
+	// Encode the surviving durable suffix. Frames still pending stay
+	// pending; the next batch appends them after this rewrite in LSN order
+	// (both orderings hold ioMu).
+	flushed := page.LSN(l.flushed.Load())
+	var out []byte
+	for _, r := range l.records[n:] {
+		if r.LSN > flushed {
+			break
+		}
+		body := r.Encode()
+		var frame [8]byte
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+		binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+		out = append(out, frame[:]...)
+		out = append(out, body...)
+	}
+
+	if l.truncFile != nil {
+		// Stage the suffix in the journal before touching anything. An
+		// error here is clean: nothing — in memory or on disk — changed.
+		if err := l.writeTruncJournalLocked(out); err != nil {
+			return 0, err
+		}
+	}
+
 	l.records = append([]*Record(nil), l.records[n:]...)
 	l.base += page.LSN(n)
-	if l.file != nil {
-		// Rewrite the file with the surviving durable suffix. Frames
-		// still pending stay pending; the next batch appends them after
-		// this rewrite in LSN order (both orderings hold ioMu).
-		if err := l.file.Truncate(int64(len(fileHeader))); err != nil {
-			return err
+
+	fail := func(err error) (int64, error) {
+		if l.failed == nil {
+			l.failed = fmt.Errorf("%w: %v", ErrLogFailed, err)
 		}
-		if _, err := l.file.Seek(int64(len(fileHeader)), io.SeekStart); err != nil {
-			return err
+		return 0, l.failed
+	}
+	if err := l.file.Truncate(int64(len(fileHeader))); err != nil {
+		return fail(fmt.Errorf("wal: truncate head: %v", err))
+	}
+	if _, err := l.file.Seek(int64(len(fileHeader)), io.SeekStart); err != nil {
+		return fail(fmt.Errorf("wal: seek head: %v", err))
+	}
+	if _, err := l.file.Write(out); err != nil {
+		return fail(fmt.Errorf("wal: rewrite suffix: %v", err))
+	}
+	if err := l.file.Sync(); err != nil {
+		return fail(fmt.Errorf("wal: sync suffix: %v", err))
+	}
+	if l.truncFile != nil {
+		// The journal must not outlive the rewrite: a stale-but-valid
+		// journal would be replayed over future appends at the next open.
+		// If it cannot be invalidated, the log must stop appending.
+		if err := l.truncFile.Truncate(0); err != nil {
+			return fail(fmt.Errorf("wal: invalidate truncation journal: %v", err))
 		}
-		flushed := page.LSN(l.flushed.Load())
-		var out []byte
-		for _, r := range l.records {
-			if r.LSN > flushed {
-				break
-			}
-			body := r.Encode()
-			var frame [8]byte
-			binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
-			binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
-			out = append(out, frame[:]...)
-			out = append(out, body...)
+		if err := l.truncFile.Sync(); err != nil {
+			return fail(fmt.Errorf("wal: sync truncation journal: %v", err))
 		}
-		if _, err := l.file.Write(out); err != nil {
-			return err
-		}
-		if err := l.file.Sync(); err != nil {
-			return err
-		}
-		l.goodOffset = int64(len(fileHeader)) + int64(len(out))
+	}
+	discarded := l.goodOffset - (int64(len(fileHeader)) + int64(len(out)))
+	if discarded < 0 {
+		discarded = 0
+	}
+	l.goodOffset = int64(len(fileHeader)) + int64(len(out))
+	return discarded, nil
+}
+
+// writeTruncJournalLocked stages the post-header file image in the sidecar
+// journal: truncate, write magic + u32 length + u32 CRC + payload as one
+// write, sync. Caller holds ioMu and mu.
+func (l *Log) writeTruncJournalLocked(payload []byte) error {
+	if err := l.truncFile.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset truncation journal: %w", err)
+	}
+	if _, err := l.truncFile.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek truncation journal: %w", err)
+	}
+	buf := make([]byte, len(truncHeader)+8+len(payload))
+	copy(buf, truncHeader)
+	binary.BigEndian.PutUint32(buf[len(truncHeader):], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[len(truncHeader)+4:], crc32.ChecksumIEEE(payload))
+	copy(buf[len(truncHeader)+8:], payload)
+	if _, err := l.truncFile.Write(buf); err != nil {
+		return fmt.Errorf("wal: write truncation journal: %w", err)
+	}
+	if err := l.truncFile.Sync(); err != nil {
+		return fmt.Errorf("wal: sync truncation journal: %w", err)
 	}
 	return nil
 }
@@ -853,6 +1108,11 @@ func (l *Log) Close() error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.truncFile != nil {
+		if cerr := l.truncFile.Close(); ferr == nil {
+			ferr = cerr
+		}
+	}
 	if l.file != nil {
 		if cerr := l.file.Close(); ferr == nil {
 			return cerr

@@ -59,7 +59,7 @@ func openFaultLog(t *testing.T) (*Log, *faultFile, string) {
 		t.Fatal(err)
 	}
 	ff := &faultFile{File: osf}
-	l, err := openFileLog(ff)
+	l, err := openFileLog(ff, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

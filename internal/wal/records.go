@@ -54,6 +54,12 @@ const (
 	RecHeapInsert
 	RecHeapDelete
 
+	// RecTruncate is the head-truncation intent record: NSN carries the
+	// first LSN the log intends to retain. It is written and forced durable
+	// before DiscardBefore rewrites the file, making the cut a logged
+	// operation; Txn is zero so analysis, redo, and undo all ignore it.
+	RecTruncate
+
 	numRecTypes
 )
 
@@ -77,6 +83,7 @@ var recTypeNames = map[RecType]string{
 	RecRootChange:          "Root-Change",
 	RecHeapInsert:          "Heap-Insert",
 	RecHeapDelete:          "Heap-Delete",
+	RecTruncate:            "Truncate",
 }
 
 // Base returns the type with the CLR flag stripped.

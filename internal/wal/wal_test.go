@@ -368,7 +368,7 @@ func TestDiscardBeforeMemLog(t *testing.T) {
 		l.Append(&Record{Type: RecBegin, Txn: page.TxnID(i + 1)})
 	}
 	l.FlushAll()
-	if err := l.DiscardBefore(6); err != nil {
+	if _, err := l.DiscardBefore(6); err != nil {
 		t.Fatal(err)
 	}
 	if l.Base() != 5 {
@@ -390,10 +390,10 @@ func TestDiscardBeforeMemLog(t *testing.T) {
 		t.Errorf("Scan visited %d records, want 6", seen)
 	}
 	// Idempotent and clamped by flush watermark.
-	if err := l.DiscardBefore(3); err != nil {
+	if _, err := l.DiscardBefore(3); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.DiscardBefore(100); err != nil {
+	if _, err := l.DiscardBefore(100); err != nil {
 		t.Fatal(err)
 	}
 	if l.Base() > l.FlushedLSN() {
@@ -411,10 +411,14 @@ func TestDiscardBeforeFileLogPersists(t *testing.T) {
 		l.Append(&Record{Type: RecBegin, Txn: page.TxnID(i + 1)})
 	}
 	l.FlushAll()
-	if err := l.DiscardBefore(15); err != nil {
+	discarded, err := l.DiscardBefore(15)
+	if err != nil {
 		t.Fatal(err)
 	}
-	l.Append(&Record{Type: RecCommit, Txn: 20})
+	if discarded <= 0 {
+		t.Errorf("discarded = %d bytes, want > 0", discarded)
+	}
+	l.Append(&Record{Type: RecCommit, Txn: 20}) // LSN 22: 21 is the truncation intent
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -427,8 +431,11 @@ func TestDiscardBeforeFileLogPersists(t *testing.T) {
 	if l2.Base() != 14 {
 		t.Errorf("reopened Base = %d, want 14", l2.Base())
 	}
-	if l2.LastLSN() != 21 {
-		t.Errorf("reopened LastLSN = %d, want 21", l2.LastLSN())
+	if l2.LastLSN() != 22 {
+		t.Errorf("reopened LastLSN = %d, want 22", l2.LastLSN())
+	}
+	if r, err := l2.Get(21); err != nil || r.Type != RecTruncate || r.NSN != 15 {
+		t.Errorf("intent record Get(21) = %v, %v, want Truncate NSN=15", r, err)
 	}
 	if r, err := l2.Get(15); err != nil || r.Txn != 15 {
 		t.Errorf("Get(15) = %v, %v", r, err)
