@@ -32,12 +32,14 @@ type document struct {
 	Benchmarks []benchResult    `json:"benchmarks"`
 	Metrics    map[string]int64 `json:"metrics,omitempty"`
 	Maint      any              `json:"maint,omitempty"`
+	Cancel     any              `json:"cancel,omitempty"`
 }
 
 func main() {
 	benchPath := flag.String("bench", "", "file with `go test -bench` output (default stdin)")
 	metricsPath := flag.String("metrics", "", "optional gistbench -exp metrics -json snapshot to embed")
 	maintPath := flag.String("maint", "", "optional gistbench -exp maint -json soak snapshot to embed")
+	cancelPath := flag.String("cancel", "", "optional gistbench -exp cancel -json soak snapshot to embed")
 	flag.Parse()
 
 	in := os.Stdin
@@ -66,6 +68,11 @@ func main() {
 		raw, err := os.ReadFile(*maintPath)
 		fatalIf(err)
 		fatalIf(json.Unmarshal(raw, &doc.Maint))
+	}
+	if *cancelPath != "" {
+		raw, err := os.ReadFile(*cancelPath)
+		fatalIf(err)
+		fatalIf(json.Unmarshal(raw, &doc.Cancel))
 	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")

@@ -12,7 +12,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -38,7 +40,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, crashfuzz, maint, all")
+	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, crashfuzz, maint, cancel, all")
 	threadsFlag = flag.String("threads", "1,2,4,8,16", "goroutine counts for throughput experiments")
 	keysFlag    = flag.Int("keys", 20000, "working-set size for throughput experiments")
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per throughput cell")
@@ -70,6 +72,7 @@ func main() {
 	run("metrics", expMetrics)
 	run("crashfuzz", expCrashFuzz)
 	run("maint", expMaint)
+	run("cancel", expCancel)
 }
 
 // maintCell is one soak measurement: an insert/delete churn workload run
@@ -301,6 +304,272 @@ func maintSoak(daemons bool) maintCell {
 	cell.FlushPages = m["maint.flush_pages"]
 	cell.GCReclaimed = m["maint.gc_reclaimed"]
 	return cell
+}
+
+// cancelCell is the cancel soak's measurement: a mixed read/write workload
+// where half the operations carry a tight random deadline, run to a fixed
+// duration and then audited. The experiment's claim is the tentpole's:
+// cancellation lands only on safe points, so however many thousand
+// statements die mid-flight, the tree stays structurally valid, no lock
+// queue entry or buffer pin leaks, and the surviving entries are exactly
+// the committed ones.
+type cancelCell struct {
+	Ops             int64   `json:"ops"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	StmtCancels     int64   `json:"stmt_cancels"`
+	CommitCancels   int64   `json:"commit_cancels"`
+	Committed       int64   `json:"committed"`
+	Aborted         int64   `json:"aborted"`
+	LockCancels     int64   `json:"lock_cancels"`
+	LockWaitNanos   int64   `json:"lock_wait_nanos"`
+	LoadWaitNanos   int64   `json:"load_wait_nanos"`
+	QueueWaiters    int64   `json:"queue_waiters"`
+	PinnedFrames    int64   `json:"pinned_frames"`
+	PinnedBaseline  int64   `json:"pinned_baseline"`
+	ActiveTxns      int64   `json:"active_txns"`
+	LiveEntries     int64   `json:"live_entries"`
+	ModelEntries    int64   `json:"model_entries"`
+	CommitCoalesced int64   `json:"commit_coalesced"`
+}
+
+func expCancel() {
+	// Small pool + simulated I/O latency: fetches actually wait, so tight
+	// deadlines expire mid-traversal, not just at the first check.
+	db, err := gistdb.Open(gistdb.Options{
+		MaxEntries: 8,
+		PoolPages:  128,
+		IOLatency:  20 * time.Microsecond,
+	})
+	must(err)
+	defer db.Close()
+	idx, err := db.CreateIndex("cancel", btree.Ops{})
+	must(err)
+	// Frames pinned by the open database itself (index anchor etc.) — the
+	// leak assertion is against this baseline, not zero.
+	baseline := db.Metrics()["buffer.pinned_frames"]
+
+	cell := cancelCell{PinnedBaseline: baseline}
+	type kv struct {
+		key int64
+		rid gistdb.RID
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var ops, stmtCancels, commitCancels, committed, aborted atomic.Int64
+	model := make([]map[int64]gistdb.RID, 0)
+	var modelMu sync.Mutex
+
+	// sharedNext keys a hot band all workers insert into and scan under
+	// RepeatableRead: the scanners' predicate locks are what inserters
+	// block on (lock.ForTxn waits), giving the deadlines real lock queues
+	// to cancel out of — not just fetch waits.
+	var sharedNext atomic.Int64
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			next := seed * 10_000_000
+			mine := map[int64]gistdb.RID{}
+			var own []kv // committed inserts, for picking delete victims
+			defer func() {
+				modelMu.Lock()
+				model = append(model, mine)
+				modelMu.Unlock()
+			}()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Half the operations carry a 0–500us deadline; the rest
+				// run uncancellable as a control population.
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if rng.Intn(2) == 0 {
+					d := time.Duration(rng.Intn(500)) * time.Microsecond
+					ctx, cancel = context.WithDeadline(ctx, time.Now().Add(d))
+				}
+				tx, err := db.Begin()
+				if err != nil {
+					cancel()
+					return
+				}
+				// Deferred model mutation: applied only if this txn commits.
+				var apply func()
+				var stmtErr error
+				var holdPredicates bool
+				switch r := rng.Intn(10); {
+				case r < 5: // insert: hot shared band or private keyspace
+					var k int64
+					if rng.Intn(3) == 0 {
+						k = sharedNext.Add(1)
+					} else {
+						k = next
+						next++
+					}
+					rid, err := idx.InsertCtx(ctx, tx, btree.EncodeKey(k), []byte("cancel-soak"))
+					if err == nil {
+						apply = func() {
+							mine[k] = rid
+							own = append(own, kv{k, rid})
+						}
+					}
+					stmtErr = err
+				case r < 7 && len(own) > 0: // delete one of our committed keys
+					i := rng.Intn(len(own))
+					p := own[i]
+					err := idx.DeleteCtx(ctx, tx, btree.EncodeKey(p.key), p.rid)
+					if err == nil {
+						apply = func() {
+							delete(mine, p.key)
+							own = append(own[:i], own[i+1:]...)
+						}
+					}
+					stmtErr = err
+				default: // RepeatableRead scan of the hot band: its predicate
+					// locks are held until commit, so inserters into the band
+					// queue behind this txn — and their deadlines fire there.
+					hi := sharedNext.Load() + 32
+					lo := hi - 96
+					if lo < 0 {
+						lo = 0
+					}
+					_, err := idx.SearchCtx(ctx, tx, btree.EncodeRange(lo, hi), gistdb.RepeatableRead)
+					holdPredicates = err == nil
+					stmtErr = err
+				}
+				ops.Add(1)
+				if stmtErr != nil {
+					if isCancelErr(stmtErr) {
+						stmtCancels.Add(1)
+					}
+					// Statement-level rollback already ran (CancelStatement
+					// policy); the txn holds no effects worth keeping.
+					tx.Abort()
+					aborted.Add(1)
+					cancel()
+					continue
+				}
+				if holdPredicates {
+					// Simulated think time with predicate locks held: the
+					// window in which inserters block on this scanner.
+					time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+				}
+				switch err := tx.CommitCtx(ctx); {
+				case err == nil, err == gistdb.ErrCommitPending:
+					committed.Add(1)
+					if apply != nil {
+						apply()
+					}
+				case isCancelErr(err):
+					commitCancels.Add(1)
+					tx.Abort()
+					aborted.Add(1)
+				default:
+					tx.Abort()
+					aborted.Add(1)
+				}
+				cancel()
+			}
+		}(int64(w + 1))
+	}
+	time.Sleep(*durFlag)
+	close(stop)
+	wg.Wait()
+
+	// Pending group commits finish on a background goroutine; give the
+	// txn table a moment to drain before auditing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Stats().ActiveTxns > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	m := db.Metrics()
+	cell.Ops = ops.Load()
+	cell.OpsPerSec = float64(cell.Ops) / durFlag.Seconds()
+	cell.StmtCancels = stmtCancels.Load()
+	cell.CommitCancels = commitCancels.Load()
+	cell.Committed = committed.Load()
+	cell.Aborted = aborted.Load()
+	cell.LockCancels = m["lock.cancels"]
+	cell.LockWaitNanos = m["lock.wait_nanos"]
+	cell.LoadWaitNanos = m["buffer.load_wait_nanos"]
+	cell.QueueWaiters = m["lock.queue_waiters"]
+	cell.PinnedFrames = m["buffer.pinned_frames"]
+	cell.ActiveTxns = int64(db.Stats().ActiveTxns)
+
+	// The oracle: every structural invariant holds and the live entries are
+	// exactly the union of the workers' committed models.
+	rep, err := idx.Check()
+	must(err)
+	cell.LiveEntries = int64(len(rep.Live))
+	want := map[int64]gistdb.RID{}
+	for _, mdl := range model {
+		for k, rid := range mdl {
+			want[k] = rid
+		}
+	}
+	cell.ModelEntries = int64(len(want))
+	cell.CommitCoalesced = m["wal.commit_coalesced"]
+
+	var bad []string
+	if cell.StmtCancels+cell.CommitCancels == 0 {
+		bad = append(bad, "no operation was ever cancelled (deadlines too loose?)")
+	}
+	if cell.QueueWaiters != 0 {
+		bad = append(bad, fmt.Sprintf("lock.queue_waiters = %d after quiesce (orphan waiter)", cell.QueueWaiters))
+	}
+	if cell.PinnedFrames != cell.PinnedBaseline {
+		bad = append(bad, fmt.Sprintf("buffer.pinned_frames = %d, want baseline %d (leaked pin)",
+			cell.PinnedFrames, cell.PinnedBaseline))
+	}
+	if cell.ActiveTxns != 0 {
+		bad = append(bad, fmt.Sprintf("%d transactions still active after quiesce", cell.ActiveTxns))
+	}
+	if cell.LiveEntries != cell.ModelEntries {
+		bad = append(bad, fmt.Sprintf("live entries = %d, committed model = %d", cell.LiveEntries, cell.ModelEntries))
+	} else {
+		for k, rid := range want {
+			key, ok := rep.Live[rid]
+			if !ok || btree.DecodeKey(key) != k {
+				bad = append(bad, fmt.Sprintf("committed key %d (rid %v) missing or wrong in tree", k, rid))
+				break
+			}
+		}
+	}
+
+	if *jsonFlag {
+		out, err := json.MarshalIndent(cell, "", "  ")
+		must(err)
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("%-24s %12d\n", "ops", cell.Ops)
+		fmt.Printf("%-24s %12.0f\n", "ops/sec", cell.OpsPerSec)
+		fmt.Printf("%-24s %12d\n", "statement cancels", cell.StmtCancels)
+		fmt.Printf("%-24s %12d\n", "commit cancels", cell.CommitCancels)
+		fmt.Printf("%-24s %12d\n", "committed txns", cell.Committed)
+		fmt.Printf("%-24s %12d\n", "aborted txns", cell.Aborted)
+		fmt.Printf("%-24s %12d\n", "lock.cancels", cell.LockCancels)
+		fmt.Printf("%-24s %12.1f\n", "lock wait (ms)", float64(cell.LockWaitNanos)/1e6)
+		fmt.Printf("%-24s %12.1f\n", "load wait (ms)", float64(cell.LoadWaitNanos)/1e6)
+		fmt.Printf("%-24s %12d\n", "live entries", cell.LiveEntries)
+		fmt.Printf("%-24s %12d\n", "wal.commit_coalesced", cell.CommitCoalesced)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "gistbench: cancel soak FAILED: %s\n", strings.Join(bad, "; "))
+		os.Exit(1)
+	}
+	if !*jsonFlag {
+		fmt.Println("RESULT: random cancellation left no orphan waiters, leaked pins, or structural damage")
+	}
+}
+
+// isCancelErr reports whether err is a context cancellation or deadline.
+func isCancelErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // expCrashFuzz runs the randomized crash-point recovery harness over a

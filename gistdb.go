@@ -89,6 +89,24 @@ var (
 	ErrNoSavepoint  = txn.ErrNoSavepoint
 	ErrNotActive    = txn.ErrNotActive
 	ErrLockDeadlock = lock.ErrDeadlock
+	// ErrCommitPending is returned by Tx.CommitCtx when the deadline fired
+	// after the commit record was published but before it became durable:
+	// the commit cannot be withdrawn and completes in the background.
+	ErrCommitPending = txn.ErrCommitPending
+)
+
+// CancelPolicy selects what happens to the enclosing transaction when a
+// statement (an Index *Ctx method) is cancelled mid-flight.
+type CancelPolicy int
+
+const (
+	// CancelStatement (the default) rolls back only the cancelled
+	// statement's effects, by logical undo back to the statement's start
+	// LSN; the transaction stays active and usable.
+	CancelStatement CancelPolicy = iota
+	// CancelAbort aborts the whole transaction when any of its statements
+	// is cancelled.
+	CancelAbort
 )
 
 // Options configures Open.
@@ -107,6 +125,9 @@ type Options struct {
 	// IOLatency adds simulated latency to every page read/write,
 	// making I/O cost visible to the concurrency experiments.
 	IOLatency time.Duration
+	// CancelPolicy selects statement-level rollback (the default) or
+	// whole-transaction abort when an Index *Ctx statement is cancelled.
+	CancelPolicy CancelPolicy
 	// Maintenance, when non-nil, enables the background maintenance
 	// subsystem (autonomous checkpointer, crash-atomic log truncator,
 	// write-behind flusher, GC sweeper). The zero Options value gives

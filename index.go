@@ -1,6 +1,8 @@
 package gistdb
 
 import (
+	"context"
+
 	"repro/internal/check"
 	"repro/internal/gist"
 	"repro/internal/page"
@@ -30,6 +32,27 @@ func (ix *Index) Insert(tx *Tx, key, record []byte) (RID, error) {
 	return rid, nil
 }
 
+// InsertCtx is Insert as a cancellable statement: ctx is honored at every
+// blocking point (lock waits, frame loads, node-visit boundaries). On
+// cancellation the statement's partial effects — the heap record and any
+// logged tree updates — are rolled back per Options.CancelPolicy, and
+// ctx.Err() is returned.
+func (ix *Index) InsertCtx(ctx context.Context, tx *Tx, key, record []byte) (RID, error) {
+	var rid RID
+	err := tx.statement(func() error {
+		r, err := ix.db.heap.InsertCtx(ctx, tx.inner, record)
+		if err != nil {
+			return err
+		}
+		rid = r
+		return ix.tree.InsertCtx(ctx, tx.inner, key, rid)
+	})
+	if err != nil {
+		return RID{}, err
+	}
+	return rid, nil
+}
+
 // InsertUnique is Insert with key uniqueness enforced (§8): ErrDuplicate is
 // returned — repeatably, under Degree 3 — when the key already exists.
 func (ix *Index) InsertUnique(tx *Tx, key, record []byte) (RID, error) {
@@ -43,10 +66,36 @@ func (ix *Index) InsertUnique(tx *Tx, key, record []byte) (RID, error) {
 	return rid, nil
 }
 
+// InsertUniqueCtx is InsertUnique as a cancellable statement (see
+// InsertCtx). ErrDuplicate is not a cancellation and passes through with
+// the heap record still inserted, exactly as InsertUnique leaves it.
+func (ix *Index) InsertUniqueCtx(ctx context.Context, tx *Tx, key, record []byte) (RID, error) {
+	var rid RID
+	err := tx.statement(func() error {
+		r, err := ix.db.heap.InsertCtx(ctx, tx.inner, record)
+		if err != nil {
+			return err
+		}
+		rid = r
+		return ix.tree.InsertUniqueCtx(ctx, tx.inner, key, rid)
+	})
+	if err != nil {
+		return RID{}, err
+	}
+	return rid, nil
+}
+
 // IndexKey indexes an existing heap record under key without storing a new
 // record (secondary-index style; several indexes can point at one RID).
 func (ix *Index) IndexKey(tx *Tx, key []byte, rid RID) error {
 	return ix.tree.Insert(tx.inner, key, rid)
+}
+
+// IndexKeyCtx is IndexKey as a cancellable statement (see InsertCtx).
+func (ix *Index) IndexKeyCtx(ctx context.Context, tx *Tx, key []byte, rid RID) error {
+	return tx.statement(func() error {
+		return ix.tree.InsertCtx(ctx, tx.inner, key, rid)
+	})
 }
 
 // Search returns all entries whose keys are consistent with query, at the
@@ -54,6 +103,14 @@ func (ix *Index) IndexKey(tx *Tx, key []byte, rid RID) error {
 // phantom-protected until the transaction ends.
 func (ix *Index) Search(tx *Tx, query []byte, iso Isolation) ([]SearchResult, error) {
 	return ix.tree.Search(tx.inner, query, iso)
+}
+
+// SearchCtx is Search honoring ctx at every node-visit boundary and
+// blocking wait. A cancelled search returns ctx.Err() promptly; being
+// read-only it needs no rollback — record locks and predicates taken so
+// far stay with the transaction, per two-phase locking.
+func (ix *Index) SearchCtx(ctx context.Context, tx *Tx, query []byte, iso Isolation) ([]SearchResult, error) {
+	return ix.tree.SearchCtx(ctx, tx.inner, query, iso)
 }
 
 // Cursor is an incremental scan over an index. Its position is recorded by
@@ -69,6 +126,19 @@ type Cursor struct {
 // Close when done (transaction end does not close cursors automatically).
 func (ix *Index) OpenCursor(tx *Tx, query []byte, iso Isolation) (*Cursor, error) {
 	gc, err := ix.tree.OpenCursor(tx.inner, query, iso)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cursor{inner: gc, ix: ix}
+	tx.cursors = append(tx.cursors, c)
+	return c, nil
+}
+
+// OpenCursorCtx is OpenCursor with a context every subsequent Next checks
+// at its node-visit boundary: once ctx fires, Next returns ctx.Err() until
+// the cursor is closed.
+func (ix *Index) OpenCursorCtx(ctx context.Context, tx *Tx, query []byte, iso Isolation) (*Cursor, error) {
+	gc, err := ix.tree.OpenCursorCtx(ctx, tx.inner, query, iso)
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +165,11 @@ func (ix *Index) Fetch(rid RID) ([]byte, error) {
 	return ix.db.heap.Read(rid)
 }
 
+// FetchCtx is Fetch honoring ctx while waiting for the record's page frame.
+func (ix *Index) FetchCtx(ctx context.Context, rid RID) ([]byte, error) {
+	return ix.db.heap.ReadCtx(ctx, rid)
+}
+
 // Delete logically deletes the index entry (key, rid) and the underlying
 // heap record. The entry remains physically present (invisible) until the
 // transaction commits and garbage collection removes it (§7).
@@ -105,10 +180,29 @@ func (ix *Index) Delete(tx *Tx, key []byte, rid RID) error {
 	return ix.db.heap.Delete(tx.inner, rid)
 }
 
+// DeleteCtx is Delete as a cancellable statement (see InsertCtx): on
+// cancellation the logical delete mark and the heap kill are rolled back
+// per Options.CancelPolicy.
+func (ix *Index) DeleteCtx(ctx context.Context, tx *Tx, key []byte, rid RID) error {
+	return tx.statement(func() error {
+		if err := ix.tree.DeleteCtx(ctx, tx.inner, key, rid); err != nil {
+			return err
+		}
+		return ix.db.heap.DeleteCtx(ctx, tx.inner, rid)
+	})
+}
+
 // DeleteEntry removes only the index entry, leaving the heap record in
 // place (for records indexed by several indexes).
 func (ix *Index) DeleteEntry(tx *Tx, key []byte, rid RID) error {
 	return ix.tree.Delete(tx.inner, key, rid)
+}
+
+// DeleteEntryCtx is DeleteEntry as a cancellable statement (see InsertCtx).
+func (ix *Index) DeleteEntryCtx(ctx context.Context, tx *Tx, key []byte, rid RID) error {
+	return tx.statement(func() error {
+		return ix.tree.DeleteCtx(ctx, tx.inner, key, rid)
+	})
 }
 
 // GC garbage-collects committed logically deleted entries across the whole

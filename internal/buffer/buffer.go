@@ -19,9 +19,13 @@
 package buffer
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/latch"
 	"repro/internal/page"
@@ -121,6 +125,12 @@ type shard struct {
 	frames    []*Frame
 	hand      int
 	contended *stats.Counter
+
+	// idx is the shard's position in the pool's shard ring; lastStolen is
+	// the pool-wide steal clock's value when a frame was last stolen from
+	// this shard. Together they order the neighbor ring a steal walks.
+	idx        int
+	lastStolen atomic.Int64
 }
 
 // lock acquires the shard mutex, counting acquisitions that had to block.
@@ -147,6 +157,12 @@ type Pool struct {
 	steals       *stats.Counter // frames migrated between shards
 	stealBatches *stats.Counter // steal operations (steals ÷ batches = batch size)
 	contended *stats.Counter // shard mutex acquisitions that blocked
+	ringHits      *stats.Counter // steals satisfied by the preferred ring neighbor
+	loadWaitNanos *stats.Counter // time spent parked on Loading/Writing frames
+
+	// stealClock orders cross-shard steals so the neighbor ring can prefer
+	// the shards stolen from least recently.
+	stealClock atomic.Int64
 }
 
 // New creates a pool with the given number of frames over disk. If wal is
@@ -175,14 +191,28 @@ func New(disk storage.Manager, capacity int, wal LogFlusher) *Pool {
 	p.steals = p.reg.Counter("buffer.frame_steals")
 	p.stealBatches = p.reg.Counter("buffer.steal_batches")
 	p.contended = p.reg.Counter("buffer.shard_contention")
+	p.ringHits = p.reg.Counter("buffer.steal_ring_hits")
+	p.loadWaitNanos = p.reg.Counter("buffer.load_wait_nanos")
 	p.reg.Gauge("buffer.shards", func() int64 { return int64(nshards) })
 	p.reg.Gauge("buffer.capacity", func() int64 { return int64(capacity) })
+	p.reg.Gauge("buffer.pinned_frames", func() int64 {
+		var total int64
+		for _, s := range p.shards {
+			s.mu.Lock()
+			for _, f := range s.frames {
+				total += int64(f.pins)
+			}
+			s.mu.Unlock()
+		}
+		return total
+	})
 
 	p.shards = make([]*shard, nshards)
 	for i := range p.shards {
 		s := &shard{
 			table:     make(map[page.PageID]*Frame, capacity/nshards+1),
 			contended: p.contended,
+			idx:       i,
 		}
 		s.cond = sync.NewCond(&s.mu)
 		p.shards[i] = s
@@ -217,7 +247,17 @@ func (p *Pool) Stats() (hits, misses, evicts int64) {
 // and returns its frame. The caller must not hold any latch while calling
 // Fetch (the call may block on I/O) and must eventually call Unpin.
 func (p *Pool) Fetch(id page.PageID) (*Frame, error) {
-	f, _, err := p.FetchEx(id)
+	f, _, err := p.FetchExCtx(nil, id)
+	return f, err
+}
+
+// FetchCtx is Fetch with a cancellable wait: if ctx fires while the call is
+// parked on a frame another goroutine is loading or writing back, the pin is
+// released and ctx.Err() returned. A nil ctx never cancels. In-flight disk
+// I/O started by this call itself is not interrupted — the no-latch-across-
+// I/O discipline means callers are free to simply not wait for it.
+func (p *Pool) FetchCtx(ctx context.Context, id page.PageID) (*Frame, error) {
+	f, _, err := p.FetchExCtx(ctx, id)
 	return f, err
 }
 
@@ -225,12 +265,45 @@ func (p *Pool) Fetch(id page.PageID) (*Frame, error) {
 // iff this call performed a disk read. The no-latch-across-I/O experiment
 // uses it to attribute I/Os to the calling operation precisely.
 func (p *Pool) FetchEx(id page.PageID) (*Frame, bool, error) {
+	return p.FetchExCtx(nil, id)
+}
+
+// ctxErr returns ctx.Err(), tolerating a nil ctx.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// wakeOnDone arranges for the shard's cond to be broadcast when ctx fires,
+// so a fetch parked in cond.Wait observes the cancellation. The broadcast
+// takes the shard mutex, so a waiter that checked ctx and is about to park
+// cannot miss the wakeup. Returns nil when ctx can never fire; otherwise
+// the returned stop function must be called once the wait loop exits.
+func wakeOnDone(ctx context.Context, s *shard) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+}
+
+// FetchExCtx is FetchEx with FetchCtx's cancellation contract.
+func (p *Pool) FetchExCtx(ctx context.Context, id page.PageID) (*Frame, bool, error) {
 	if id == page.InvalidPage {
 		return nil, false, fmt.Errorf("buffer: fetch of invalid page")
 	}
 	s := p.shardOf(id)
 	s.lock()
 	for {
+		if err := ctxErr(ctx); err != nil {
+			s.mu.Unlock()
+			return nil, false, err
+		}
 		if f, ok := s.table[id]; ok {
 			f.pins++
 			if f.pins == 1 {
@@ -238,16 +311,36 @@ func (p *Pool) FetchEx(id page.PageID) (*Frame, bool, error) {
 			}
 			f.refbit = true
 			stale := false
-			for f.state == stateLoading || f.state == stateWriting {
-				s.cond.Wait()
-				// A loader whose disk read failed unmaps the frame; the
-				// wait must notice, or it would return a frame with no
-				// valid content (and a pin that makes a free frame look
-				// permanently busy).
-				if s.table[id] != f {
-					stale = true
-					break
+			var cancelled error
+			if f.state == stateLoading || f.state == stateWriting {
+				waitStart := time.Now()
+				stop := wakeOnDone(ctx, s)
+				for f.state == stateLoading || f.state == stateWriting {
+					if err := ctxErr(ctx); err != nil {
+						cancelled = err
+						break
+					}
+					s.cond.Wait()
+					// A loader whose disk read failed unmaps the frame; the
+					// wait must notice, or it would return a frame with no
+					// valid content (and a pin that makes a free frame look
+					// permanently busy).
+					if s.table[id] != f {
+						stale = true
+						break
+					}
 				}
+				if stop != nil {
+					stop()
+				}
+				p.loadWaitNanos.Add(time.Since(waitStart).Nanoseconds())
+			}
+			if cancelled != nil {
+				// Give back the pin taken above; the loader (or writer)
+				// owns its own pin and finishes undisturbed.
+				f.pins--
+				s.mu.Unlock()
+				return nil, false, cancelled
 			}
 			if stale {
 				f.pins--
@@ -398,13 +491,25 @@ const stealBatch = 4
 // list). If no sibling has a clean evictable frame, it falls back to
 // writing back and stealing a single dirty one. Empty when every other
 // frame in the pool is pinned. No locks are held on entry.
+//
+// Candidates are visited over the static neighbor ring starting after s,
+// reordered so the shards stolen from least recently come first: under a
+// skewed workload this stops two hot shards from ping-ponging the same
+// frames back and forth while cold shards keep their surplus. A steal
+// satisfied by the first-preference neighbor counts toward
+// buffer.steal_ring_hits.
 func (p *Pool) stealFrames(s *shard) []*Frame {
+	order := p.stealOrder(s)
 	var out []*Frame
-	for _, t := range p.shards {
-		if t == s {
-			continue
+	for i, t := range order {
+		got := p.stealFrom(t, false, stealBatch-len(out))
+		if len(got) > 0 {
+			t.lastStolen.Store(p.stealClock.Add(1))
+			if i == 0 {
+				p.ringHits.Inc()
+			}
 		}
-		out = append(out, p.stealFrom(t, false, stealBatch-len(out))...)
+		out = append(out, got...)
 		if len(out) >= stealBatch {
 			return out
 		}
@@ -412,15 +517,28 @@ func (p *Pool) stealFrames(s *shard) []*Frame {
 	if len(out) > 0 {
 		return out
 	}
-	for _, t := range p.shards {
-		if t == s {
-			continue
-		}
+	for _, t := range order {
 		if got := p.stealFrom(t, true, 1); len(got) > 0 {
+			t.lastStolen.Store(p.stealClock.Add(1))
 			return got
 		}
 	}
 	return nil
+}
+
+// stealOrder returns every shard but s in steal-preference order: the ring
+// neighbors after s, stably resorted so least recently stolen-from wins
+// ties toward ring proximity.
+func (p *Pool) stealOrder(s *shard) []*shard {
+	n := len(p.shards)
+	order := make([]*shard, 0, n-1)
+	for i := 1; i < n; i++ {
+		order = append(order, p.shards[(s.idx+i)%n])
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return order[a].lastStolen.Load() < order[b].lastStolen.Load()
+	})
+	return order
 }
 
 // stealFrom extracts up to max evictable clean frames from t, writing back

@@ -21,6 +21,7 @@
 package crashfuzz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -28,6 +29,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"regexp"
 	"strconv"
@@ -440,11 +442,15 @@ func setup(m *machine, mdl *model) error {
 }
 
 func insertKV(m *machine, tx *txn.Txn, k int64) (page.RID, error) {
-	rid, err := m.heap.Insert(tx, []byte(fmt.Sprintf("rec-%d", k)))
+	return insertKVCtx(nil, m, tx, k)
+}
+
+func insertKVCtx(ctx context.Context, m *machine, tx *txn.Txn, k int64) (page.RID, error) {
+	rid, err := m.heap.InsertCtx(ctx, tx, []byte(fmt.Sprintf("rec-%d", k)))
 	if err != nil {
 		return page.RID{}, err
 	}
-	if err := m.tree.Insert(tx, btree.EncodeKey(k), rid); err != nil {
+	if err := m.tree.InsertCtx(ctx, tx, btree.EncodeKey(k), rid); err != nil {
 		return page.RID{}, err
 	}
 	return rid, nil
@@ -467,7 +473,22 @@ func runWriter(m *machine, mdl *model, cp *storage.CrashPoint, seed int64, gid, 
 			errors.Is(err, lock.ErrDeadlock) ||
 			errors.Is(err, buffer.ErrPoolExhausted) ||
 			errors.Is(err, storage.ErrCrashed) ||
-			errors.Is(err, wal.ErrLogFailed)
+			errors.Is(err, wal.ErrLogFailed) ||
+			errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded)
+	}
+	// opCtx rains statement cancellation over the workload: roughly a
+	// quarter of ops run under a context with a random, frequently
+	// already-expired deadline, so cancellations land on every safe point —
+	// lock waits, frame waits, node-visit boundaries. A cancelled statement
+	// goes through the ordinary fail path (abort + logical undo), which the
+	// post-crash oracle then holds to the same standard as any other abort.
+	opCtx := func() (context.Context, context.CancelFunc) {
+		if wrng.Intn(4) != 0 {
+			return nil, func() {}
+		}
+		d := time.Duration(wrng.Intn(400)) * time.Microsecond
+		return context.WithDeadline(context.Background(), time.Now().Add(d))
 	}
 	forceRelease := func(tx *txn.Txn) {
 		m.locks.ReleaseAll(tx.ID())
@@ -543,7 +564,10 @@ func runWriter(m *machine, mdl *model, cp *storage.CrashPoint, seed int64, gid, 
 		case kind == 5 && len(mine) > 0: // delete one of my committed keys
 			idx := wrng.Intn(len(mine))
 			p := mine[idx]
-			if err := m.tree.Delete(tx, btree.EncodeKey(p.key), p.rid); err != nil {
+			ctx, cancel := opCtx()
+			err := m.tree.DeleteCtx(ctx, tx, btree.EncodeKey(p.key), p.rid)
+			cancel()
+			if err != nil {
 				ok = false
 				fail(tx, err)
 			} else {
@@ -570,7 +594,10 @@ func runWriter(m *machine, mdl *model, cp *storage.CrashPoint, seed int64, gid, 
 				added = append(added, pair{k1, rid1})
 			}
 		case kind == 7: // read-committed search
-			if _, err := m.tree.Search(tx, btree.EncodeRange(0, 1<<41), gist.ReadCommitted); err != nil {
+			ctx, cancel := opCtx()
+			_, err := m.tree.SearchCtx(ctx, tx, btree.EncodeRange(0, 1<<41), gist.ReadCommitted)
+			cancel()
+			if err != nil {
 				ok = false
 				fail(tx, err)
 			}
@@ -606,7 +633,9 @@ func runWriter(m *machine, mdl *model, cp *storage.CrashPoint, seed int64, gid, 
 			for j := 0; j < n && ok; j++ {
 				k := nextKey
 				nextKey++
-				rid, err := insertKV(m, tx, k)
+				ctx, cancel := opCtx()
+				rid, err := insertKVCtx(ctx, m, tx, k)
+				cancel()
 				if err != nil {
 					ok = false
 					fail(tx, err)

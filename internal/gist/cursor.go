@@ -1,6 +1,7 @@
 package gist
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/latch"
@@ -37,6 +38,14 @@ type Cursor struct {
 // OpenCursor starts an incremental search. The caller must call Close when
 // done (Commit/Abort of the transaction does not close cursors).
 func (t *Tree) OpenCursor(tx *txn.Txn, query []byte, iso Isolation) (*Cursor, error) {
+	return t.OpenCursorCtx(nil, tx, query, iso)
+}
+
+// OpenCursorCtx is OpenCursor with a context the cursor checks at every
+// node-visit boundary of Next: when ctx fires, Next returns ctx.Err() and
+// the cursor (still open; Close releases its state) returns the same error
+// on every later call until ctx is replaced by closing and reopening.
+func (t *Tree) OpenCursorCtx(ctx context.Context, tx *txn.Txn, query []byte, iso Isolation) (*Cursor, error) {
 	t.Stats.Searches.Add(1)
 	var pred *predicate.Predicate
 	if iso == RepeatableRead {
@@ -48,11 +57,11 @@ func (t *Tree) OpenCursor(tx *txn.Txn, query []byte, iso Isolation) (*Cursor, er
 		}
 		return t.ops.Consistent(p.Data, query)
 	}
-	return t.openCursor(tx, query, iso, pred, conflicts)
+	return t.openCursor(ctx, tx, query, iso, pred, conflicts)
 }
 
-func (t *Tree) openCursor(tx *txn.Txn, query []byte, iso Isolation, attach *predicate.Predicate, conflicts func(*predicate.Predicate) bool) (*Cursor, error) {
-	o := t.opEnter(tx)
+func (t *Tree) openCursor(ctx context.Context, tx *txn.Txn, query []byte, iso Isolation, attach *predicate.Predicate, conflicts func(*predicate.Predicate) bool) (*Cursor, error) {
+	o := t.opEnterCtx(ctx, tx)
 	// Counter before root pointer: see locateLeaf for why this order is
 	// load-bearing against racing root splits.
 	nsn := t.counter()
@@ -85,6 +94,12 @@ func (c *Cursor) Next() (SearchResult, bool, error) {
 	}
 	t := c.t
 	for {
+		// Node-visit boundary: the only state held here is the stack (backed
+		// by signaling locks that exit() releases) — nothing latched, nothing
+		// pinned, no NTA — so cancellation between visits is always safe.
+		if err := c.o.check(); err != nil {
+			return SearchResult{}, false, err
+		}
 		if len(c.pending) > 0 {
 			r := c.pending[0]
 			c.pending = c.pending[1:]

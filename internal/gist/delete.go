@@ -2,6 +2,7 @@ package gist
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/buffer"
@@ -22,10 +23,18 @@ import (
 // The caller must have X-locked the data record (phase 1 of §6 applies
 // symmetrically); the lock call here is re-entrant.
 func (t *Tree) Delete(tx *txn.Txn, key []byte, rid page.RID) error {
+	return t.DeleteCtx(nil, tx, key, rid)
+}
+
+// DeleteCtx is Delete honoring ctx at every node-visit boundary of the
+// equality-search traversal and at every blocking wait. The mark itself is
+// a single latched page update — once written it is undone by the caller
+// through logical undo, never interrupted. A nil ctx never cancels.
+func (t *Tree) DeleteCtx(ctx context.Context, tx *txn.Txn, key []byte, rid page.RID) error {
 	t.Stats.Deletes.Add(1)
-	o := t.opEnter(tx)
+	o := t.opEnterCtx(ctx, tx)
 	defer o.exit()
-	if err := tx.Lock(lock.ForRID(rid), lock.X); err != nil {
+	if err := tx.LockCtx(o.context(), lock.ForRID(rid), lock.X); err != nil {
 		return wrapLockErr(err)
 	}
 
@@ -40,6 +49,10 @@ func (t *Tree) Delete(tx *txn.Txn, key []byte, rid page.RID) error {
 	stack := []stackEntry{{pg: root, nsn: nsn}}
 	o.signal(root)
 	for len(stack) > 0 {
+		// Node-visit boundary: no latch held, no NTA open.
+		if err := o.check(); err != nil {
+			return err
+		}
 		se := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		f, err := o.fetch(se.pg)

@@ -20,6 +20,7 @@
 package gist
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -295,12 +296,14 @@ func (t *Tree) rootID() (page.PageID, error) {
 // counter reads the tree-global counter: the last assigned LSN (§10.1).
 func (t *Tree) counter() page.LSN { return t.log.LastLSN() }
 
-// op is the per-operation context: it carries the owning transaction,
-// tracks held latches for the no-latch-across-I/O assertion, participates
-// in the epoch drain, and remembers which nodes it holds signaling locks on.
+// op is the per-operation context: it carries the owning transaction and
+// the caller's context.Context, tracks held latches for the
+// no-latch-across-I/O assertion, participates in the epoch drain, and
+// remembers which nodes it holds signaling locks on.
 type op struct {
 	t       *Tree
 	tx      *txn.Txn
+	ctx     context.Context // nil = never cancelled
 	id      uint64
 	latches int
 	signals map[page.PageID]bool // signaling locks held by this operation
@@ -308,12 +311,45 @@ type op struct {
 
 // opEnter registers an operation with the epoch tracker.
 func (t *Tree) opEnter(tx *txn.Txn) *op {
+	return t.opEnterCtx(nil, tx)
+}
+
+// opEnterCtx is opEnter carrying the caller's context; tree code consults
+// it only at safe points (o.check) and cancellable waits, never inside a
+// nested top action.
+func (t *Tree) opEnterCtx(ctx context.Context, tx *txn.Txn) *op {
 	t.epochMu.Lock()
 	t.nextOpID++
 	id := t.nextOpID
 	t.activeOps[id] = t.epoch
 	t.epochMu.Unlock()
-	return &op{t: t, tx: tx, id: id, signals: make(map[page.PageID]bool)}
+	return &op{t: t, tx: tx, ctx: ctx, id: id, signals: make(map[page.PageID]bool)}
+}
+
+// check is the safe-point cancellation test: it returns the context's error
+// at a node-visit boundary, where the operation holds no latch it cannot
+// release and is outside any nested top action.
+func (o *op) check() error {
+	if o.ctx == nil {
+		return nil
+	}
+	if o.tx.InNTA() {
+		// Never observe cancellation inside a nested top action: the
+		// structure modification must run to completion (its error path
+		// writes the dummy CLR, which would otherwise fence a half-done
+		// split off from undo).
+		return nil
+	}
+	return o.ctx.Err()
+}
+
+// context returns the operation's context, or Background when it has none
+// or a nested top action is open (waits inside an NTA are not cancellable).
+func (o *op) context() context.Context {
+	if o.ctx == nil || o.tx.InNTA() {
+		return context.Background()
+	}
+	return o.ctx
 }
 
 // exit deregisters the operation, releases its remaining signaling locks
@@ -427,7 +463,11 @@ func (t *Tree) TxnFinished(id page.TxnID) {
 // a latched I/O (the protocol's descent path never produces one; the only
 // candidates are rare rightlink chases during ascent, see Stats.LatchedIOs).
 func (o *op) fetch(id page.PageID) (*buffer.Frame, error) {
-	f, missed, err := o.t.pool.FetchEx(id)
+	ctx := o.ctx
+	if ctx != nil && o.tx.InNTA() {
+		ctx = nil // fetches inside a structure modification are not cancellable
+	}
+	f, missed, err := o.t.pool.FetchExCtx(ctx, id)
 	if err != nil {
 		return nil, err
 	}
@@ -500,7 +540,7 @@ func (t *Tree) keyConflictsWith(key []byte) func(*predicate.Predicate) bool {
 func (o *op) blockOnPredicates(conflicts []*predicate.Predicate) error {
 	for _, p := range conflicts {
 		o.t.Stats.PredBlocks.Add(1)
-		if err := o.tx.Lock(lock.ForTxn(p.Owner), lock.S); err != nil {
+		if err := o.tx.LockCtx(o.context(), lock.ForTxn(p.Owner), lock.S); err != nil {
 			return wrapLockErr(err)
 		}
 		o.t.locks.Unlock(o.tx.ID(), lock.ForTxn(p.Owner))

@@ -2,6 +2,7 @@ package gist
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -33,10 +34,20 @@ type pathEntry struct {
 // predicate percolation (4); the entry is installed (5); and the insert
 // blocks on conflicting search predicates attached to the leaf (6).
 func (t *Tree) Insert(tx *txn.Txn, key []byte, rid page.RID) error {
+	return t.InsertCtx(nil, tx, key, rid)
+}
+
+// InsertCtx is Insert honoring ctx at every node-visit boundary and at
+// every blocking wait. Cancellation is only observed OUTSIDE nested top
+// actions: a split in progress always completes (the tree stays
+// structurally sound), and any leaf entry already installed is rolled back
+// by the caller through the transaction's logical undo. A nil ctx never
+// cancels.
+func (t *Tree) InsertCtx(ctx context.Context, tx *txn.Txn, key []byte, rid page.RID) error {
 	t.Stats.Inserts.Add(1)
-	o := t.opEnter(tx)
+	o := t.opEnterCtx(ctx, tx)
 	defer o.exit()
-	if err := tx.Lock(lock.ForRID(rid), lock.X); err != nil {
+	if err := tx.LockCtx(o.context(), lock.ForRID(rid), lock.X); err != nil {
 		return wrapLockErr(err)
 	}
 	return o.insert(key, rid)
@@ -147,6 +158,12 @@ func (o *op) locateLeaf(key []byte) (*buffer.Frame, []pathEntry, error) {
 	cur := root
 	o.signal(cur)
 	for {
+		// Node-visit boundary: nothing latched, no NTA open; the path pins
+		// are released by the caller's releasePath on error return.
+		if err := o.check(); err != nil {
+			o.releasePath(stack)
+			return nil, nil, err
+		}
 		f, err := o.fetch(cur)
 		if err != nil {
 			o.releasePath(stack)
@@ -225,6 +242,11 @@ func (o *op) bestInChain(f *buffer.Frame, mode latch.Mode, memorized page.LSN, k
 	t.pool.Unpin(f, false, 0)
 
 	for !stop && next != page.InvalidPage {
+		// Node-visit boundary of the rightlink chase (bestInChain runs
+		// outside any NTA, holding no latch here).
+		if err := o.check(); err != nil {
+			return nil, err
+		}
 		o.signal(next)
 		g, err := o.fetch(next)
 		if err != nil {

@@ -1,6 +1,7 @@
 package gist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -39,8 +40,16 @@ type stackEntry struct {
 // met the node is unlatched, the operation blocks, and the node (and its
 // split chain, guided by the originally memorized NSN) is rescanned.
 func (t *Tree) Search(tx *txn.Txn, query []byte, iso Isolation) ([]SearchResult, error) {
+	return t.SearchCtx(nil, tx, query, iso)
+}
+
+// SearchCtx is Search honoring ctx at every node-visit boundary and at
+// every blocking wait (record locks, predicate blocks, frame loads): when
+// ctx fires the traversal stops between nodes, releases what it holds, and
+// returns ctx.Err(). A nil ctx never cancels.
+func (t *Tree) SearchCtx(ctx context.Context, tx *txn.Txn, query []byte, iso Isolation) ([]SearchResult, error) {
 	t.Stats.Searches.Add(1)
-	o := t.opEnter(tx)
+	o := t.opEnterCtx(ctx, tx)
 	defer o.exit()
 	var pred *predicate.Predicate
 	if iso == RepeatableRead {
@@ -148,7 +157,7 @@ func (o *op) scanLeaf(f *buffer.Frame, se stackEntry, query []byte, iso Isolatio
 // lockRecord blocks until the record lock is available, honoring the
 // isolation level's lock duration.
 func (o *op) lockRecord(rid page.RID, iso Isolation) error {
-	err := o.tx.Lock(lock.ForRID(rid), lock.S)
+	err := o.tx.LockCtx(o.context(), lock.ForRID(rid), lock.S)
 	if err != nil {
 		if errors.Is(err, lock.ErrDeadlock) {
 			return fmt.Errorf("%w: %v", ErrAborted, err)

@@ -1,6 +1,8 @@
 package gist
 
 import (
+	"context"
+
 	"repro/internal/lock"
 	"repro/internal/page"
 	"repro/internal/predicate"
@@ -20,11 +22,17 @@ import (
 // isolation: the duplicate can neither be deleted nor can the error
 // spontaneously vanish while this transaction lives.
 func (t *Tree) InsertUnique(tx *txn.Txn, key []byte, rid page.RID) error {
+	return t.InsertUniqueCtx(nil, tx, key, rid)
+}
+
+// InsertUniqueCtx is InsertUnique with InsertCtx's cancellation contract
+// for both the duplicate-search phase and the insert phase.
+func (t *Tree) InsertUniqueCtx(ctx context.Context, tx *txn.Txn, key []byte, rid page.RID) error {
 	t.Stats.Inserts.Add(1)
-	o := t.opEnter(tx)
+	o := t.opEnterCtx(ctx, tx)
 	defer o.exit()
 
-	if err := tx.Lock(lock.ForRID(rid), lock.X); err != nil {
+	if err := tx.LockCtx(o.context(), lock.ForRID(rid), lock.X); err != nil {
 		return wrapLockErr(err)
 	}
 

@@ -11,6 +11,7 @@
 package heap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -89,6 +90,13 @@ func (h *File) Pages() []page.PageID {
 // Insert stores rec and returns its RID. The insert is logged in tx's
 // backchain so that rollback removes it.
 func (h *File) Insert(tx *txn.Txn, rec []byte) (page.RID, error) {
+	return h.InsertCtx(nil, tx, rec)
+}
+
+// InsertCtx is Insert honoring ctx while waiting for the record's page to
+// become available in the buffer pool. A nil ctx never cancels. The page
+// allocation NTA, once begun, runs to completion regardless of ctx.
+func (h *File) InsertCtx(ctx context.Context, tx *txn.Txn, rec []byte) (page.RID, error) {
 	if len(rec) == 0 {
 		return page.RID{}, errors.New("heap: empty record")
 	}
@@ -98,7 +106,7 @@ func (h *File) Insert(tx *txn.Txn, rec []byte) (page.RID, error) {
 	candidates := append([]page.PageID(nil), h.pages...)
 	h.mu.Unlock()
 	for i := len(candidates) - 1; i >= 0; i-- {
-		rid, err := h.tryInsert(tx, candidates[i], rec)
+		rid, err := h.tryInsert(ctx, tx, candidates[i], rec)
 		if err == nil {
 			return rid, nil
 		}
@@ -126,12 +134,12 @@ func (h *File) Insert(tx *txn.Txn, rec []byte) (page.RID, error) {
 	h.mu.Lock()
 	h.pages = append(h.pages, id)
 	h.mu.Unlock()
-	return h.tryInsert(tx, id, rec)
+	return h.tryInsert(ctx, tx, id, rec)
 }
 
 // tryInsert attempts the insert on one page.
-func (h *File) tryInsert(tx *txn.Txn, id page.PageID, rec []byte) (page.RID, error) {
-	f, err := h.pool.Fetch(id)
+func (h *File) tryInsert(ctx context.Context, tx *txn.Txn, id page.PageID, rec []byte) (page.RID, error) {
+	f, err := h.pool.FetchCtx(ctx, id)
 	if err != nil {
 		return page.RID{}, err
 	}
@@ -171,7 +179,12 @@ func (h *File) tryInsert(tx *txn.Txn, id page.PageID, rec []byte) (page.RID, err
 
 // Read returns a copy of the record at rid.
 func (h *File) Read(rid page.RID) ([]byte, error) {
-	f, err := h.pool.Fetch(rid.Page)
+	return h.ReadCtx(nil, rid)
+}
+
+// ReadCtx is Read honoring ctx while waiting for the page frame.
+func (h *File) ReadCtx(ctx context.Context, rid page.RID) ([]byte, error) {
+	f, err := h.pool.FetchCtx(ctx, rid.Page)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +204,14 @@ func (h *File) Read(rid page.RID) ([]byte, error) {
 
 // Delete removes the record at rid, logged for rollback.
 func (h *File) Delete(tx *txn.Txn, rid page.RID) error {
-	f, err := h.pool.Fetch(rid.Page)
+	return h.DeleteCtx(nil, tx, rid)
+}
+
+// DeleteCtx is Delete honoring ctx while waiting for the page frame. Once
+// the frame is latched the kill-and-log step is not interruptible (it is a
+// single logged page update; rollback undoes it).
+func (h *File) DeleteCtx(ctx context.Context, tx *txn.Txn, rid page.RID) error {
+	f, err := h.pool.FetchCtx(ctx, rid.Page)
 	if err != nil {
 		return err
 	}

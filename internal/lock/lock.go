@@ -22,6 +22,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -179,6 +180,8 @@ type Manager struct {
 	deadlocks    *stats.Counter
 	contended    *stats.Counter
 	detectSkips  *stats.Counter
+	cancels      *stats.Counter
+	waitNanos    *stats.Counter
 }
 
 // NewManager returns an empty lock manager. The stripe count adapts to
@@ -193,7 +196,21 @@ func NewManager() *Manager {
 	m.deadlocks = m.reg.Counter("lock.deadlocks")
 	m.contended = m.reg.Counter("lock.stripe_contention")
 	m.detectSkips = m.reg.Counter("lock.detect_skips")
+	m.cancels = m.reg.Counter("lock.cancels")
+	m.waitNanos = m.reg.Counter("lock.wait_nanos")
 	m.reg.Gauge("lock.stripes", func() int64 { return int64(len(m.stripes)) })
+	m.reg.Gauge("lock.queue_waiters", func() int64 {
+		var total int64
+		for i := range m.stripes {
+			st := &m.stripes[i]
+			st.lock()
+			for _, ll := range st.table {
+				total += int64(len(ll.queue))
+			}
+			st.mu.Unlock()
+		}
+		return total
+	})
 	for i := range m.stripes {
 		m.stripes[i].table = make(map[Name]*lockList)
 		m.stripes[i].contended = m.contended
@@ -263,6 +280,15 @@ func canGrantLocked(ll *lockList, txn page.TxnID, mode Mode) bool {
 // S→X upgrade. If granting would complete a waits-for cycle, the request
 // fails immediately with ErrDeadlock.
 func (m *Manager) Lock(txn page.TxnID, n Name, mode Mode) error {
+	return m.LockCtx(context.Background(), txn, n, mode)
+}
+
+// LockCtx is Lock with a cancellable wait: if ctx is done while the request
+// is queued, the waiter removes itself from the queue (and thereby from the
+// waits-for graph) and returns ctx.Err(). A request that can be granted
+// immediately is granted regardless of ctx — cancellation is only honored
+// at the blocking point; callers check ctx at their own safe points.
+func (m *Manager) LockCtx(ctx context.Context, txn page.TxnID, n Name, mode Mode) error {
 	st := m.stripeOf(n)
 	st.lock()
 	ll := st.list(n)
@@ -290,7 +316,7 @@ func (m *Manager) Lock(txn page.TxnID, n Name, mode Mode) error {
 		ll.queue = append(ll.queue, nil)
 		copy(ll.queue[i+1:], ll.queue[i:])
 		ll.queue[i] = w
-		return m.block(st, ll, w, n)
+		return m.block(ctx, st, ll, w, n)
 	}
 
 	// Fresh request: strict FIFO — grant only if compatible with the
@@ -304,7 +330,7 @@ func (m *Manager) Lock(txn page.TxnID, n Name, mode Mode) error {
 	}
 	w := &waiter{txn: txn, mode: mode, done: make(chan error, 1)}
 	ll.queue = append(ll.queue, w)
-	return m.block(st, ll, w, n)
+	return m.block(ctx, st, ll, w, n)
 }
 
 // block finishes a Lock call whose waiter has been enqueued. The stripe
@@ -317,15 +343,20 @@ func (m *Manager) Lock(txn page.TxnID, n Name, mode Mode) error {
 // stripe-by-stripe waits-for snapshot. A genuine deadlock is stable, so
 // delaying its detection by the grace period costs latency, not
 // correctness.
-func (m *Manager) block(st *stripe, ll *lockList, w *waiter, n Name) error {
+func (m *Manager) block(ctx context.Context, st *stripe, ll *lockList, w *waiter, n Name) error {
 	m.waits.Inc()
 	st.mu.Unlock()
+	start := time.Now()
+	defer func() { m.waitNanos.Add(time.Since(start).Nanoseconds()) }()
 	grace := time.NewTimer(detectGrace)
 	select {
 	case err := <-w.done:
 		grace.Stop()
 		m.detectSkips.Inc()
 		return err
+	case <-ctx.Done():
+		grace.Stop()
+		return m.cancelWaiter(st, ll, w, n, ctx.Err())
 	case <-grace.C:
 	}
 	if m.detectDeadlock(w.txn) {
@@ -338,6 +369,34 @@ func (m *Manager) block(st *stripe, ll *lockList, w *waiter, n Name) error {
 		}
 		// The waiter was granted (or aborted) while detection ran;
 		// the buffered channel already carries the outcome.
+	}
+	select {
+	case err := <-w.done:
+		return err
+	case <-ctx.Done():
+		return m.cancelWaiter(st, ll, w, n, ctx.Err())
+	}
+}
+
+// cancelWaiter withdraws a queued waiter whose context fired. If the waiter
+// is still queued it is removed — its departure may unblock compatible
+// waiters behind it, and an empty list is reclaimed — and the cancellation
+// cause is returned. If the grant (or an external abort) raced ahead, the
+// buffered channel already carries the authoritative outcome and the grant
+// stands: the caller observes its next safe point instead.
+func (m *Manager) cancelWaiter(st *stripe, ll *lockList, w *waiter, n Name, cause error) error {
+	st.lock()
+	removed := removeWaiterLocked(ll, w)
+	if removed {
+		m.promoteLocked(st, ll)
+		if len(ll.granted) == 0 && len(ll.queue) == 0 {
+			delete(st.table, n)
+		}
+	}
+	st.mu.Unlock()
+	if removed {
+		m.cancels.Inc()
+		return cause
 	}
 	return <-w.done
 }

@@ -12,6 +12,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -52,6 +53,14 @@ var (
 	ErrNoSavepoint  = errors.New("txn: no such savepoint")
 	ErrNoUndoer     = errors.New("txn: no undo handler registered for record type")
 	ErrNestedAction = errors.New("txn: nested top action already open")
+
+	// ErrCommitPending is returned by CommitCtx when the context fired
+	// after the commit record was published but before its durability was
+	// confirmed. The record cannot be withdrawn, so the transaction is NOT
+	// rolled back: the commit completes in the background as soon as the
+	// group-commit flusher covers it, releasing locks then. The handle is
+	// no longer usable.
+	ErrCommitPending = errors.New("txn: commit pending durability")
 )
 
 // UndoFunc undoes the effects of one log record during rollback. It must
@@ -274,10 +283,25 @@ type Txn struct {
 	// vals lets subsystems (the tree layer) stash per-transaction state,
 	// such as the set of signaling locks pinned by savepoints.
 	vals map[any]any
+
+	// durableHook, when set, runs after a commit that went pending
+	// (ErrCommitPending) finally becomes durable and finishCommit has
+	// released the transaction's locks. The synchronous commit paths never
+	// invoke it — the caller handles those inline.
+	durableHook func()
 }
 
 // ID returns the transaction id.
 func (tx *Txn) ID() page.TxnID { return tx.id }
+
+// SetDurableHook installs f to run after a commit that returned
+// ErrCommitPending completes in the background. Synchronous commit outcomes
+// never call f.
+func (tx *Txn) SetDurableHook(f func()) {
+	tx.mu.Lock()
+	tx.durableHook = f
+	tx.mu.Unlock()
+}
 
 // State returns the lifecycle state.
 func (tx *Txn) State() State {
@@ -338,10 +362,17 @@ func (tx *Txn) LogCLR(r *wal.Record, undoNext page.LSN) page.LSN {
 // end of transaction unless explicitly released by the tree protocol, as
 // signaling locks are).
 func (tx *Txn) Lock(n lock.Name, m lock.Mode) error {
+	return tx.LockCtx(context.Background(), n, m)
+}
+
+// LockCtx is Lock with a cancellable wait (see lock.Manager.LockCtx): if
+// ctx fires while the request is queued the waiter withdraws and ctx.Err()
+// is returned; locks the transaction already holds are untouched.
+func (tx *Txn) LockCtx(ctx context.Context, n lock.Name, m lock.Mode) error {
 	if tx.State() != Active {
 		return ErrNotActive
 	}
-	return tx.mgr.locks.Lock(tx.id, n, m)
+	return tx.mgr.locks.LockCtx(ctx, tx.id, n, m)
 }
 
 // BeginNTA opens a nested top action: a sequence of log records that will
@@ -373,6 +404,17 @@ func (tx *Txn) EndNTA() page.LSN {
 	tx.mu.Unlock()
 	r := &wal.Record{Type: wal.RecDummyCLR}
 	return tx.LogCLR(r, start)
+}
+
+// InNTA reports whether a nested top action is currently open.
+// Cancellation-aware layers use it to suppress cancellation inside an NTA:
+// a structure modification, once begun, must run to completion — failing it
+// mid-way and then writing the dummy CLR would make undo skip a half-done
+// modification.
+func (tx *Txn) InNTA() bool {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.ntaOpen
 }
 
 // AbandonNTA closes the NTA bookkeeping without writing the dummy CLR,
@@ -429,6 +471,25 @@ func (tx *Txn) RollbackTo(name string) error {
 	return tx.undoTo(target)
 }
 
+// RollbackToLSN undoes all of the transaction's updates after the given
+// LSN, the anonymous-savepoint form of RollbackTo used for statement-level
+// cancellation: the facade snapshots LastLSN before a statement and rolls
+// back to it when the statement's context fires, leaving the transaction
+// active with every earlier update intact. Savepoints established after the
+// target are discarded.
+func (tx *Txn) RollbackToLSN(stop page.LSN) error {
+	tx.mu.Lock()
+	if tx.state != Active {
+		tx.mu.Unlock()
+		return ErrNotActive
+	}
+	for len(tx.savepoints) > 0 && tx.savepoints[len(tx.savepoints)-1].LSN > stop {
+		tx.savepoints = tx.savepoints[:len(tx.savepoints)-1]
+	}
+	tx.mu.Unlock()
+	return tx.undoTo(stop)
+}
+
 // undoTo walks the backchain undoing records until lastLSN's chain position
 // reaches stop (exclusive).
 func (tx *Txn) undoTo(stop page.LSN) error {
@@ -462,6 +523,20 @@ func (tx *Txn) undoTo(stop page.LSN) error {
 // Commit ends the transaction successfully: forces the Commit record to
 // disk (durability), releases predicates and locks, and writes End.
 func (tx *Txn) Commit() error {
+	return tx.CommitCtx(context.Background())
+}
+
+// CommitCtx is Commit with a deadline on the group-commit park. Before the
+// commit record is published a done context returns ctx.Err() with the
+// transaction untouched (still active, abortable). Once the record is
+// published its fate is decided by durability alone: if the flusher covered
+// it by the time the deadline is noticed the commit is reported as
+// committed — never rolled back — and if not, ErrCommitPending is returned
+// and the commit completes in the background when durability lands.
+func (tx *Txn) CommitCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	tx.mu.Lock()
 	if tx.state != Active {
 		tx.mu.Unlock()
@@ -470,19 +545,60 @@ func (tx *Txn) Commit() error {
 	tx.state = Committed
 	tx.mu.Unlock()
 
-	// The commit force point: FlushTo parks this committer on the WAL's
-	// group-commit queue, so concurrent committers share fsyncs instead of
+	// The commit force point: the commit record and its force request are
+	// one publish (wal.AppendCommit), parking this committer on the WAL's
+	// group-commit queue so concurrent committers share fsyncs instead of
 	// each paying one.
-	lsn := tx.Log(&wal.Record{Type: wal.RecCommit})
+	lsn, forced := tx.logCommit()
 	tx.mgr.commitForces.Inc()
-	if err := tx.mgr.log.FlushTo(lsn); err != nil {
-		return fmt.Errorf("txn %d commit force: %w", tx.id, err)
+	select {
+	case err := <-forced:
+		if err != nil {
+			return fmt.Errorf("txn %d commit force: %w", tx.id, err)
+		}
+	case <-ctx.Done():
+		if tx.mgr.log.FlushedLSN() < lsn {
+			go func() {
+				if err := <-forced; err == nil {
+					tx.finishCommit()
+					tx.mu.Lock()
+					h := tx.durableHook
+					tx.mu.Unlock()
+					if h != nil {
+						h()
+					}
+				}
+				// On log failure the engine is failing wholesale; the
+				// transaction's locks die with the process.
+			}()
+			return fmt.Errorf("%w (txn %d): %v", ErrCommitPending, tx.id, ctx.Err())
+		}
+		// Durable before the deadline was noticed: committed.
 	}
+	tx.finishCommit()
+	return nil
+}
+
+// logCommit publishes the commit record and its flush waiter as one ring
+// publish, maintaining the backchain like Log.
+func (tx *Txn) logCommit() (page.LSN, <-chan error) {
+	r := &wal.Record{Type: wal.RecCommit}
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	r.Txn = tx.id
+	r.PrevLSN = tx.lastLSN
+	lsn, ch := tx.mgr.log.AppendCommit(r)
+	tx.lastLSN = lsn
+	return lsn, ch
+}
+
+// finishCommit is the post-durability half of commit: release predicates
+// and locks, write End, retire the transaction.
+func (tx *Txn) finishCommit() {
 	tx.release()
 	tx.Log(&wal.Record{Type: wal.RecEnd})
 	tx.mgr.finish(tx)
 	tx.mgr.commits.Inc()
-	return nil
 }
 
 // Abort rolls the transaction back completely and releases its resources.

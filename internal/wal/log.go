@@ -118,6 +118,7 @@ type Log struct {
 	batchBytes   *stats.Counter // bytes flushed, cumulative
 	fsyncNanos   *stats.Counter // time spent in fsync, cumulative
 	groupWaits   *stats.Counter // committers parked on the commit queue
+	coalesced    *stats.Counter // commit records published with their force request
 }
 
 // stageSlot is one ring slot of the reservation→seal handoff buffer. seq
@@ -172,6 +173,7 @@ func (l *Log) init() {
 	l.batchBytes = l.reg.Counter("wal.batch_bytes")
 	l.fsyncNanos = l.reg.Counter("wal.fsync_nanos")
 	l.groupWaits = l.reg.Counter("wal.group_waits")
+	l.coalesced = l.reg.Counter("wal.commit_coalesced")
 	l.reg.Gauge("wal.stage_slots", func() int64 { return int64(n) })
 	l.reg.Gauge("wal.last_lsn", func() int64 { return int64(l.next.Load()) })
 	l.reg.Gauge("wal.flushed_lsn", func() int64 { return int64(l.flushed.Load()) })
@@ -618,6 +620,49 @@ func (l *Log) FlushTo(lsn page.LSN) error {
 	l.groupWaits.Inc()
 	l.kickFlusher()
 	return <-w.ch
+}
+
+// AppendCommit appends r and registers its force request as one publish:
+// the record is staged and a flush waiter covering its LSN is parked on the
+// commit queue in the same call, instead of Append followed by a separate
+// FlushTo that re-derives what Append just knew (the target LSN, the
+// sticky-failure state, the watermark clamp). The returned channel carries
+// the durability outcome exactly once; it is buffered, so a caller that
+// stops listening (deadline) leaks nothing and the flusher never blocks.
+//
+// Callers that need a cancellable commit park select on the channel: the
+// record's fate after the deadline is decided by FlushedLSN, never by
+// un-appending (a published commit record cannot be withdrawn).
+func (l *Log) AppendCommit(r *Record) (page.LSN, <-chan error) {
+	ch := make(chan error, 1)
+	if l.file == nil {
+		lsn := l.Append(r)
+		ch <- l.FlushTo(lsn)
+		return lsn, ch
+	}
+	l.mu.Lock()
+	failed := l.failed
+	l.mu.Unlock()
+	if failed != nil {
+		lsn := l.Append(r)
+		ch <- failed
+		return lsn, ch
+	}
+	lsn := l.Append(r)
+	l.coalesced.Inc()
+	w := &flushWaiter{lsn: lsn, ch: ch}
+	l.qmu.Lock()
+	if !l.flusherOn {
+		// Flusher already stopped (Close in progress): flush inline.
+		l.qmu.Unlock()
+		ch <- l.flushDirect(lsn)
+		return lsn, ch
+	}
+	l.waiters = append(l.waiters, w)
+	l.qmu.Unlock()
+	l.groupWaits.Inc()
+	l.kickFlusher()
+	return lsn, ch
 }
 
 // kickFlusher nudges the flusher goroutine without blocking.

@@ -1,6 +1,10 @@
 package gistdb
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"repro/internal/gist"
 	"repro/internal/lock"
 	"repro/internal/txn"
@@ -30,6 +34,31 @@ func (tx *Tx) ID() uint64 { return uint64(tx.inner.ID()) }
 // its locks and predicates.
 func (tx *Tx) Commit() error {
 	if err := tx.inner.Commit(); err != nil {
+		return err
+	}
+	tx.finishTrees()
+	return nil
+}
+
+// CommitCtx is Commit with a deadline on the durability wait. Three
+// outcomes:
+//
+//   - ctx done before the commit record is published: ctx.Err() is
+//     returned and the transaction is untouched — still active, still
+//     abortable.
+//   - ctx done after publication but before durability: ErrCommitPending
+//     is returned; the commit can no longer be withdrawn and completes in
+//     the background when the log force lands, at which point the
+//     transaction's locks are released.
+//   - durable in time (or already durable when the deadline is noticed):
+//     committed, nil.
+func (tx *Tx) CommitCtx(ctx context.Context) error {
+	// If the commit goes pending, the per-tree bookkeeping must wait for
+	// the background durability point — releasing it early would let dead
+	// RIDs be reused while the deleting transaction can still become a
+	// restart loser.
+	tx.inner.SetDurableHook(tx.finishTrees)
+	if err := tx.inner.CommitCtx(ctx); err != nil {
 		return err
 	}
 	tx.finishTrees()
@@ -94,4 +123,47 @@ func (tx *Tx) RollbackTo(name string) error {
 // records to reduce deadlocks.
 func (tx *Tx) LockRecord(rid RID) error {
 	return tx.inner.Lock(lock.ForRID(rid), lock.X)
+}
+
+// LockRecordCtx is LockRecord with a cancellable wait: when ctx fires while
+// the lock is queued the waiter removes itself and ctx.Err() is returned;
+// no lock is held. If a grant raced the cancellation the lock is held and
+// nil is returned.
+func (tx *Tx) LockRecordCtx(ctx context.Context, rid RID) error {
+	return tx.inner.LockCtx(ctx, lock.ForRID(rid), lock.X)
+}
+
+// isCancel reports whether err is (or wraps) a context cancellation.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// statement runs one mutating index statement with statement-level
+// atomicity under cancellation: when fn returns a context error the
+// statement's logged effects are removed by logical undo back to the
+// statement's start LSN (CancelStatement) or the whole transaction is
+// aborted (CancelAbort), per Options.CancelPolicy. Non-cancellation errors
+// pass through untouched, preserving the engine's existing error contract
+// (e.g. ErrDuplicate, deadlock-driven ErrAborted).
+func (tx *Tx) statement(fn func() error) error {
+	mark := tx.inner.LastLSN()
+	err := fn()
+	if err == nil || !isCancel(err) {
+		return err
+	}
+	switch tx.db.opts.CancelPolicy {
+	case CancelAbort:
+		if aerr := tx.Abort(); aerr != nil && !errors.Is(aerr, ErrNotActive) {
+			return fmt.Errorf("%v; abort after cancel: %w", err, aerr)
+		}
+	default: // CancelStatement
+		if rerr := tx.inner.RollbackToLSN(mark); rerr != nil {
+			// A failed partial undo leaves the transaction's effects
+			// indeterminate; abort wholesale rather than let the caller
+			// keep using it.
+			tx.Abort()
+			return fmt.Errorf("%v; statement rollback: %w", err, rerr)
+		}
+	}
+	return err
 }
