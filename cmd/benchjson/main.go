@@ -33,6 +33,7 @@ type document struct {
 	Metrics    map[string]int64 `json:"metrics,omitempty"`
 	Maint      any              `json:"maint,omitempty"`
 	Cancel     any              `json:"cancel,omitempty"`
+	Readscale  any              `json:"readscale,omitempty"`
 }
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "optional gistbench -exp metrics -json snapshot to embed")
 	maintPath := flag.String("maint", "", "optional gistbench -exp maint -json soak snapshot to embed")
 	cancelPath := flag.String("cancel", "", "optional gistbench -exp cancel -json soak snapshot to embed")
+	readscalePath := flag.String("readscale", "", "optional gistbench -exp readscale -json soak snapshot to embed")
 	flag.Parse()
 
 	in := os.Stdin
@@ -73,6 +75,11 @@ func main() {
 		raw, err := os.ReadFile(*cancelPath)
 		fatalIf(err)
 		fatalIf(json.Unmarshal(raw, &doc.Cancel))
+	}
+	if *readscalePath != "" {
+		raw, err := os.ReadFile(*readscalePath)
+		fatalIf(err)
+		fatalIf(json.Unmarshal(raw, &doc.Readscale))
 	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")

@@ -40,7 +40,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, crashfuzz, maint, cancel, all")
+	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, crashfuzz, maint, cancel, readscale, all")
 	threadsFlag = flag.String("threads", "1,2,4,8,16", "goroutine counts for throughput experiments")
 	keysFlag    = flag.Int("keys", 20000, "working-set size for throughput experiments")
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per throughput cell")
@@ -73,6 +73,7 @@ func main() {
 	run("crashfuzz", expCrashFuzz)
 	run("maint", expMaint)
 	run("cancel", expCancel)
+	run("readscale", expReadscale)
 }
 
 // maintCell is one soak measurement: an insert/delete churn workload run
@@ -570,6 +571,203 @@ func expCancel() {
 // isCancelErr reports whether err is a context cancellation or deadline.
 func isCancelErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// readscaleCell is one cell of the read-scaling soak (E19): th reader
+// goroutines running range searches and cursor scans over a preloaded tree
+// for -dur, against a light background inserter, with the optimistic read
+// path on or off. The latch.* columns are deltas of the process-global
+// latch registry measured around the cell.
+type readscaleCell struct {
+	Optimistic   bool    `json:"optimistic"`
+	Threads      int     `json:"threads"`
+	Ops          int64   `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	OptReads     int64   `json:"opt_reads"`
+	OptRestarts  int64   `json:"opt_restarts"`
+	OptFallbacks int64   `json:"opt_fallbacks"`
+	SAcquires    int64   `json:"s_acquires"`
+	XAcquires    int64   `json:"x_acquires"`
+}
+
+func expReadscale() {
+	var cells []readscaleCell
+	for _, optimistic := range []bool{true, false} {
+		cells = append(cells, readscaleSoak(optimistic)...)
+	}
+
+	if *jsonFlag {
+		out, err := json.MarshalIndent(map[string]any{"cells": cells}, "", "  ")
+		must(err)
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("%-12s %8s %10s %12s %12s %12s %12s %12s %12s\n",
+			"mode", "threads", "ops", "ops/sec", "opt_reads", "restarts", "fallbacks", "s_acq", "x_acq")
+		for _, c := range cells {
+			mode := "pessimistic"
+			if c.Optimistic {
+				mode = "optimistic"
+			}
+			fmt.Printf("%-12s %8d %10d %12.0f %12d %12d %12d %12d %12d\n",
+				mode, c.Threads, c.Ops, c.OpsPerSec,
+				c.OptReads, c.OptRestarts, c.OptFallbacks, c.SAcquires, c.XAcquires)
+		}
+	}
+
+	// Acceptance: the optimistic cells must actually exercise the
+	// latch-free path (opt_reads > 0) with the fallback ladder a rare
+	// event, and the pessimistic cells must never touch it.
+	var bad []string
+	for _, c := range cells {
+		if c.Optimistic {
+			if c.OptReads == 0 {
+				bad = append(bad, fmt.Sprintf("optimistic cell threads=%d performed no optimistic reads", c.Threads))
+			}
+			if limit := max64(100, c.OptReads/20); c.OptFallbacks > limit {
+				bad = append(bad, fmt.Sprintf(
+					"optimistic cell threads=%d fell back %d times (opt_reads=%d, limit %d)",
+					c.Threads, c.OptFallbacks, c.OptReads, limit))
+			}
+		} else if c.OptReads != 0 {
+			bad = append(bad, fmt.Sprintf("pessimistic cell threads=%d counted %d optimistic reads", c.Threads, c.OptReads))
+		}
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "gistbench: readscale soak FAILED: %s\n", strings.Join(bad, "; "))
+		os.Exit(1)
+	}
+	if !*jsonFlag {
+		fmt.Println("RESULT: optimistic read path carried the load with rare pessimistic fallbacks")
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// readscaleSoak runs one mode's cells across the -threads counts on a
+// single preloaded database.
+func readscaleSoak(optimistic bool) []readscaleCell {
+	mode := gistdb.OptimisticOff
+	if optimistic {
+		mode = gistdb.OptimisticOn
+	}
+	db, err := gistdb.Open(gistdb.Options{PoolPages: 4096, OptimisticReads: mode})
+	must(err)
+	defer db.Close()
+	idx, err := db.CreateIndex("readscale", btree.Ops{})
+	must(err)
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		tx, err := db.Begin()
+		must(err)
+		_, err = idx.Insert(tx, btree.EncodeKey(int64(i)), []byte("readscale"))
+		must(err)
+		must(tx.Commit())
+	}
+
+	var cells []readscaleCell
+	for _, th := range parseThreads() {
+		before := db.Metrics()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var ops atomic.Int64
+
+		// Light background inserter into a disjoint keyspace: enough page
+		// versions churn to exercise restarts and the fallback ladder
+		// without perturbing the readers' expected result counts.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			next := int64(10_000_000)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx, err := db.Begin()
+				if err != nil {
+					return
+				}
+				if _, err := idx.Insert(tx, btree.EncodeKey(next), []byte("churn")); err != nil {
+					tx.Abort()
+				} else {
+					tx.Commit()
+					next++
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+
+		for r := 0; r < th; r++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					tx, err := db.Begin()
+					if err != nil {
+						return
+					}
+					if rng.Intn(5) < 4 { // batch range search, width 20
+						lo := int64(rng.Intn(keys - 20))
+						rs, err := idx.Search(tx, btree.EncodeRange(lo, lo+19), gistdb.ReadCommitted)
+						if err != nil || len(rs) != 20 {
+							fmt.Fprintf(os.Stderr, "gistbench: readscale search: err=%v results=%d want 20\n", err, len(rs))
+							os.Exit(1)
+						}
+					} else { // incremental cursor drain, width 100
+						lo := int64(rng.Intn(keys - 100))
+						c, err := idx.OpenCursor(tx, btree.EncodeRange(lo, lo+99), gistdb.ReadCommitted)
+						must(err)
+						n := 0
+						for {
+							_, ok, err := c.Next()
+							must(err)
+							if !ok {
+								break
+							}
+							n++
+						}
+						c.Close()
+						if n != 100 {
+							fmt.Fprintf(os.Stderr, "gistbench: readscale cursor drained %d entries, want 100\n", n)
+							os.Exit(1)
+						}
+					}
+					tx.Commit()
+					ops.Add(1)
+				}
+			}(int64(th*100 + r + 1))
+		}
+		time.Sleep(*durFlag)
+		close(stop)
+		wg.Wait()
+
+		m := db.Metrics()
+		d := func(name string) int64 { return m[name] - before[name] }
+		cells = append(cells, readscaleCell{
+			Optimistic:   optimistic,
+			Threads:      th,
+			Ops:          ops.Load(),
+			OpsPerSec:    float64(ops.Load()) / durFlag.Seconds(),
+			OptReads:     d("latch.opt_reads"),
+			OptRestarts:  d("latch.opt_restarts"),
+			OptFallbacks: d("latch.opt_fallbacks"),
+			SAcquires:    d("latch.s_acquires"),
+			XAcquires:    d("latch.x_acquires"),
+		})
+	}
+	return cells
 }
 
 // expCrashFuzz runs the randomized crash-point recovery harness over a

@@ -109,6 +109,20 @@ const (
 	CancelAbort
 )
 
+// OptimisticMode gates the version-validated latch-free read path. The
+// zero value is "on" so existing Options literals get the fast path.
+type OptimisticMode int
+
+const (
+	// OptimisticOn (the default): search descents and cursor scans visit
+	// nodes by snapshotting them under seqlock version validation,
+	// falling back to shared latches per node after OptimisticRetries
+	// consecutive failed validations.
+	OptimisticOn OptimisticMode = iota
+	// OptimisticOff forces the classic shared latch on every read visit.
+	OptimisticOff
+)
+
 // Options configures Open.
 type Options struct {
 	// Dir is the directory for the page file and WAL; empty means a
@@ -122,6 +136,13 @@ type Options struct {
 	MaxEntries int
 	// ParentLSNOpt enables the §10.1 counter-read optimization.
 	ParentLSNOpt bool
+	// OptimisticReads selects the read path's latching discipline
+	// (default OptimisticOn: latch-free version-validated visits).
+	OptimisticReads OptimisticMode
+	// OptimisticRetries is how many consecutive failed validations a
+	// node visit tolerates before falling back to the shared latch
+	// (0 = default 3).
+	OptimisticRetries int
 	// IOLatency adds simulated latency to every page read/write,
 	// making I/O cost visible to the concurrency experiments.
 	IOLatency time.Duration
@@ -378,7 +399,7 @@ func (db *DB) CreateIndex(name string, ops Ops) (*Index, error) {
 	if _, err := db.readCatalog(name); err == nil {
 		return nil, fmt.Errorf("%w: %q", ErrIndexExists, name)
 	}
-	cfg := gist.Config{Ops: ops, MaxEntries: db.opts.MaxEntries, ParentLSNOpt: db.opts.ParentLSNOpt}
+	cfg := db.treeConfig(ops)
 	tree, err := gist.Create(db.pool, db.tm, cfg)
 	if err != nil {
 		return nil, err
@@ -419,6 +440,18 @@ func (db *DB) CreateIndex(name string, ops Ops) (*Index, error) {
 	return ix, nil
 }
 
+// treeConfig builds the tree configuration shared by CreateIndex and
+// OpenIndex from the database options.
+func (db *DB) treeConfig(ops Ops) gist.Config {
+	return gist.Config{
+		Ops:               ops,
+		MaxEntries:        db.opts.MaxEntries,
+		ParentLSNOpt:      db.opts.ParentLSNOpt,
+		OptimisticReads:   db.opts.OptimisticReads == OptimisticOn,
+		OptimisticRetries: db.opts.OptimisticRetries,
+	}
+}
+
 // OpenIndex opens an existing index with the given extension methods (the
 // ops must match those used at creation; the engine stores no semantics).
 func (db *DB) OpenIndex(name string, ops Ops) (*Index, error) {
@@ -434,7 +467,7 @@ func (db *DB) OpenIndex(name string, ops Ops) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := gist.Config{Ops: ops, MaxEntries: db.opts.MaxEntries, ParentLSNOpt: db.opts.ParentLSNOpt}
+	cfg := db.treeConfig(ops)
 	tree, err := gist.Open(db.pool, db.tm, cfg, anchor)
 	if err != nil {
 		return nil, err
@@ -503,6 +536,9 @@ func (db *DB) Metrics() map[string]int64 {
 		db.pool.Metrics(),
 		db.log.Metrics(),
 		storage.MetricsOf(db.disk),
+		// Latches are embedded in frames with no owning manager, so their
+		// registry is process-global (as the old latch.GlobalStats was).
+		latch.Metrics(),
 	}
 	if db.maint != nil {
 		regs = append(regs, db.maint.Metrics())

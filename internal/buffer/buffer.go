@@ -366,11 +366,16 @@ func (p *Pool) FetchExCtx(ctx context.Context, id page.PageID) (*Frame, bool, er
 			// stays clean and evictable in this shard.
 			continue
 		}
-		// Reuse frame for the new page.
+		// Reuse frame for the new page. Poison the latch version first:
+		// an optimistic reader that captured a version against the old
+		// resident page must never validate a copy of the new one
+		// (eviction/recycle ABA). Pins already exclude remap during a
+		// visit, so this is the fail-closed backstop, not the first line.
 		if f.state == stateReady {
 			delete(s.table, f.id)
 			p.evicts.Add(1)
 		}
+		f.Latch.BumpVersion()
 		f.id = id
 		f.state = stateLoading
 		f.pins = 1
@@ -669,6 +674,9 @@ func (p *Pool) NewPage(level uint16) (*Frame, error) {
 			delete(s.table, f.id)
 			p.evicts.Add(1)
 		}
+		// Same remap poison as the fetch miss path: the frame is about to
+		// hold a different page, so outstanding optimistic versions die.
+		f.Latch.BumpVersion()
 		f.id = id
 		f.state = stateReady
 		f.pins = 1

@@ -1,0 +1,62 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestFrameRemapPoisonsVersion pins the eviction/recycle ABA defense: a
+// version captured while a frame held page A must never validate once the
+// frame has been remapped to page B, on either remap path (NewPage claim
+// and fetch-miss claim). Without the poison a reader that unpinned, lost
+// the frame to eviction, and re-validated could bless a copy of the wrong
+// page.
+func TestFrameRemapPoisonsVersion(t *testing.T) {
+	d := storage.NewMemDisk()
+	p := New(d, 1, nil) // one frame: every new page recycles it
+
+	fa, err := p.NewPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA := fa.ID()
+	vA, ok := fa.Latch.TryOptimistic()
+	if !ok {
+		t.Fatal("TryOptimistic failed on an unlatched frame")
+	}
+	p.Unpin(fa, true, 1)
+
+	// NewPage path: claims the sole frame for a fresh page.
+	fb, err := p.NewPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb != fa {
+		t.Fatalf("expected frame recycle with capacity 1 (got %p vs %p)", fb, fa)
+	}
+	if fa.Latch.Validate(vA) {
+		t.Fatal("version captured against page A validated after NewPage remap")
+	}
+	vB, ok := fb.Latch.TryOptimistic()
+	if !ok {
+		t.Fatal("remapped frame not optimistically readable")
+	}
+	p.Unpin(fb, true, 2)
+
+	// Fetch-miss path: reloading page A recycles the frame again.
+	fc, err := p.Fetch(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc != fa {
+		t.Fatalf("expected frame recycle on fetch miss (got %p vs %p)", fc, fa)
+	}
+	if fc.Latch.Validate(vB) {
+		t.Fatal("version captured against page B validated after fetch-miss remap")
+	}
+	if _, ok := fc.Latch.TryOptimistic(); !ok {
+		t.Fatal("frame version parity broken after two remaps")
+	}
+	p.Unpin(fc, false, 0)
+}

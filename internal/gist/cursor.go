@@ -65,7 +65,7 @@ func (t *Tree) openCursor(ctx context.Context, tx *txn.Txn, query []byte, iso Is
 	// Counter before root pointer: see locateLeaf for why this order is
 	// load-bearing against racing root splits.
 	nsn := t.counter()
-	root, err := t.rootID()
+	root, err := o.optimisticRootID()
 	if err != nil {
 		o.exit()
 		return nil, err
@@ -117,6 +117,19 @@ func (c *Cursor) Next() (SearchResult, bool, error) {
 		if err != nil {
 			return SearchResult{}, false, fmt.Errorf("gist: cursor fetch %d: %w", se.pg, err)
 		}
+
+		if t.cfg.OptimisticReads {
+			handled, herr := c.visitOptimistic(f, se)
+			if herr != nil {
+				return SearchResult{}, false, herr
+			}
+			if handled {
+				continue
+			}
+			// Validation kept failing: fall through to the pessimistic
+			// visit below with the frame still pinned.
+		}
+
 		c.o.latchPage(f, latch.S)
 
 		if f.Page.NSN() > se.nsn {

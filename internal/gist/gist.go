@@ -103,7 +103,20 @@ type Config struct {
 	// AssertNoLatchOnIO panics if a buffer-pool miss occurs while the
 	// operation holds any node latch (experiment E10's watchdog).
 	AssertNoLatchOnIO bool
+	// OptimisticReads lets read-only node visits (search descents, cursor
+	// scans, the insert descent through internal nodes) snapshot pages
+	// under seqlock version validation instead of taking the shared
+	// latch. Writers keep their latch discipline untouched.
+	OptimisticReads bool
+	// OptimisticRetries is how many consecutive failed validations a
+	// node visit tolerates before falling back to the pessimistic shared
+	// latch; 0 means the default (3).
+	OptimisticRetries int
 }
+
+// defaultOptimisticRetries is the fallback ladder depth when the config
+// leaves OptimisticRetries zero.
+const defaultOptimisticRetries = 3
 
 // Stats aggregates tree-level instrumentation counters.
 type Stats struct {
@@ -157,12 +170,30 @@ type Tree struct {
 	pinMu  sync.Mutex
 	pinned map[page.TxnID]map[page.PageID]bool
 
+	// optRetries is the resolved OptimisticRetries (config value or the
+	// default), kept off the hot path's config lookups.
+	optRetries int
+
+	// rootCache memoizes the last validated (anchor seqlock version, root
+	// pointer) pair. An optimistic root read whose current anchor version
+	// equals the cached one may use the cached pointer with no copy at
+	// all: an unchanged version proves no root change (and no frame
+	// remap) has intervened since the pair was validated.
+	rootCache atomic.Pointer[rootCacheEntry]
+
 	Stats Stats
 }
 
 type pendingFree struct {
 	pg    page.PageID
 	epoch uint64
+}
+
+// rootCacheEntry pairs a root pointer with the anchor-frame seqlock
+// version at which it was validated (see Tree.rootCache).
+type rootCacheEntry struct {
+	ver  uint64
+	root page.PageID
 }
 
 // anchorKey is the body stored in the anchor page's slot 0.
@@ -277,6 +308,10 @@ func newTree(pool *buffer.Pool, tm *txn.Manager, cfg Config) *Tree {
 		activeOps: make(map[uint64]uint64),
 		pinned:    make(map[page.TxnID]map[page.PageID]bool),
 	}
+	t.optRetries = cfg.OptimisticRetries
+	if t.optRetries <= 0 {
+		t.optRetries = defaultOptimisticRetries
+	}
 	t.registerUndo()
 	return t
 }
@@ -307,6 +342,18 @@ type op struct {
 	id      uint64
 	latches int
 	signals map[page.PageID]bool // signaling locks held by this operation
+
+	// scratch is the operation's optimistic-path scratch (snapshot page
+	// plus staging slices), taken from snapPool on first use and returned
+	// at exit so a warm pool keeps the read path allocation-free.
+	scratch *optScratch
+
+	// Optimistic-read tallies, accumulated locally and folded into the
+	// latch package's registry once at exit so node visits perform no
+	// shared atomic adds.
+	optReads     int64
+	optRestarts  int64
+	optFallbacks int64
 }
 
 // opEnter registers an operation with the epoch tracker.
@@ -357,6 +404,14 @@ func (o *op) context() context.Context {
 // whose drain condition is now met.
 func (o *op) exit() {
 	t := o.t
+	if o.optReads != 0 || o.optRestarts != 0 || o.optFallbacks != 0 {
+		latch.AddOptStats(o.optReads, o.optRestarts, o.optFallbacks)
+		o.optReads, o.optRestarts, o.optFallbacks = 0, 0, 0
+	}
+	if o.scratch != nil {
+		snapPool.Put(o.scratch)
+		o.scratch = nil
+	}
 	for pg := range o.signals {
 		o.releaseSignal(pg)
 	}

@@ -150,7 +150,7 @@ func (o *op) locateLeaf(key []byte) (*buffer.Frame, []pathEntry, error) {
 	// reader that obtained the old root must have memorized a value
 	// below the split's NSN and will chase the old root's rightlink.
 	curNSN := t.counter()
-	root, err := t.rootID()
+	root, err := o.optimisticRootID()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -172,6 +172,17 @@ func (o *op) locateLeaf(key []byte) (*buffer.Frame, []pathEntry, error) {
 		// Level is immutable for a page id, so reading it before
 		// choosing the latch mode is safe.
 		leaf := f.Page.IsLeaf()
+
+		if !leaf && t.cfg.OptimisticReads {
+			if child, next, ok := o.descendOptimistic(f, cur, curNSN, key); ok {
+				stack = append(stack, pathEntry{pg: cur, f: f}) // stays pinned
+				cur, curNSN = child, next
+				continue
+			}
+			// Missed split, empty node, or persistent validation failure:
+			// redo this visit under the shared latch (frame still pinned).
+		}
+
 		mode := latch.S
 		if leaf {
 			mode = latch.X

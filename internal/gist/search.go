@@ -75,7 +75,7 @@ func (t *Tree) searchCore(o *op, query []byte, iso Isolation, attach *predicate.
 	// Counter before root pointer: see locateLeaf for why this order is
 	// load-bearing against racing root splits.
 	nsn := t.counter()
-	root, err := t.rootID()
+	root, err := o.optimisticRootID()
 	if err != nil {
 		return nil, err
 	}

@@ -8,11 +8,22 @@
 // deadlock-free by construction. Latches also do not interact with locks: a
 // transaction may hold a lock on a node while another holds the latch on
 // the frame caching it.
+//
+// Beyond the classic S/X modes the latch carries a version word maintained
+// as a seqlock: every X acquisition makes it odd, every X release makes it
+// even again. Readers can visit the protected page optimistically — copy
+// the bytes with no latch at all, then check that the version is unchanged
+// and was even throughout (TryOptimistic / Validate) — and only fall back
+// to the shared mode when a writer keeps invalidating them. S acquisitions
+// never touch the version, so optimistic readers and latched readers
+// coexist freely.
 package latch
 
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/stats"
 )
 
 // Mode is a latch mode.
@@ -34,36 +45,70 @@ func (m Mode) String() string {
 	return "X"
 }
 
-// Stats aggregates latch traffic counters across all latches; used by the
-// instrumentation experiments.
-type Stats struct {
-	SAcquires atomic.Int64
-	XAcquires atomic.Int64
+// The package-level registry surfaces latch traffic through the unified
+// metrics pipeline (DB.Metrics, gistbench -exp metrics). Latches are
+// embedded in buffer frames with no constructor of their own, so the
+// counters are process-global, exactly as the former GlobalStats struct
+// was — but now readable by name alongside every other subsystem.
+var (
+	reg          = stats.NewRegistry()
+	sAcquires    = reg.Counter("latch.s_acquires")
+	xAcquires    = reg.Counter("latch.x_acquires")
+	optReads     = reg.Counter("latch.opt_reads")
+	optRestarts  = reg.Counter("latch.opt_restarts")
+	optFallbacks = reg.Counter("latch.opt_fallbacks")
+)
+
+// Metrics exposes the process-wide latch counter registry
+// (latch.s_acquires, latch.x_acquires, latch.opt_reads, latch.opt_restarts,
+// latch.opt_fallbacks).
+func Metrics() *stats.Registry { return reg }
+
+// AddOptStats folds one operation's optimistic-read tallies into the
+// registry. Callers accumulate per operation and flush once at operation
+// exit so the hot visit path performs no shared atomic adds.
+func AddOptStats(reads, restarts, fallbacks int64) {
+	if reads != 0 {
+		optReads.Add(reads)
+	}
+	if restarts != 0 {
+		optRestarts.Add(restarts)
+	}
+	if fallbacks != 0 {
+		optFallbacks.Add(fallbacks)
+	}
 }
 
-// GlobalStats collects acquisition counts for every latch in the process.
-var GlobalStats Stats
-
-// Latch is a shared/exclusive latch. The zero value is ready to use.
+// Latch is a shared/exclusive latch with an optimistic-read version word.
+// The zero value is ready to use.
 //
 // Latch holders must follow a deadlock-free discipline; the GiST protocol
-// guarantees this by never latch-coupling (at most one node latched per
+// guarantees this by never latch-coupling (at most one node latch per
 // operation at a time except for the strictly bottom-up, two-phase-latched
 // structure-modification atomic actions, which order acquisitions leaf to
 // root and left to right).
 type Latch struct {
 	mu sync.RWMutex
+
+	// ver is the seqlock word: odd while an X holder is inside, bumped to
+	// the next even value on X release. BumpVersion adds two (parity
+	// preserved) to invalidate outstanding optimistic reads when the
+	// protected bytes change identity without an X acquisition — the
+	// buffer pool poisons a frame this way when remapping it to a
+	// different page.
+	ver atomic.Uint64
 }
 
 // Acquire takes the latch in the given mode, blocking until available.
 func (l *Latch) Acquire(m Mode) {
 	if m == S {
 		l.mu.RLock()
-		GlobalStats.SAcquires.Add(1)
+		sAcquires.Add(1)
 		return
 	}
 	l.mu.Lock()
-	GlobalStats.XAcquires.Add(1)
+	l.ver.Add(1) // odd: writer inside; optimistic captures now fail
+	xAcquires.Add(1)
 }
 
 // Release releases the latch previously acquired in mode m.
@@ -72,6 +117,7 @@ func (l *Latch) Release(m Mode) {
 		l.mu.RUnlock()
 		return
 	}
+	l.ver.Add(1) // even again, but different: outstanding validations fail
 	l.mu.Unlock()
 }
 
@@ -82,13 +128,43 @@ func (l *Latch) TryAcquire(m Mode) bool {
 	if m == S {
 		ok = l.mu.TryRLock()
 		if ok {
-			GlobalStats.SAcquires.Add(1)
+			sAcquires.Add(1)
 		}
 		return ok
 	}
 	ok = l.mu.TryLock()
 	if ok {
-		GlobalStats.XAcquires.Add(1)
+		l.ver.Add(1)
+		xAcquires.Add(1)
 	}
 	return ok
+}
+
+// TryOptimistic captures the latch's version for an optimistic read.
+// ok is false when an exclusive holder is currently inside (the version is
+// odd) — the caller should retry or fall back to Acquire(S). On ok the
+// caller may read the protected bytes (with RacyCopy, since the reads are
+// deliberately unsynchronized) and must then call Validate before trusting
+// anything it read.
+func (l *Latch) TryOptimistic() (version uint64, ok bool) {
+	v := l.ver.Load()
+	return v, v&1 == 0
+}
+
+// Validate reports whether no exclusive holder entered (or the version was
+// poisoned) since the given version was captured. A true return means every
+// read between TryOptimistic and Validate observed bytes no X holder was
+// concurrently mutating — equivalent to having held the S latch for that
+// window.
+func (l *Latch) Validate(version uint64) bool {
+	return l.ver.Load() == version
+}
+
+// BumpVersion invalidates all outstanding optimistic reads without
+// acquiring the latch, preserving the version's parity. The buffer pool
+// calls it when a frame is remapped to a different page, so a reader that
+// captured a version against the old page can never validate a copy of the
+// new one (the eviction/recycle ABA).
+func (l *Latch) BumpVersion() {
+	l.ver.Add(2)
 }

@@ -136,11 +136,34 @@ func TestModeString(t *testing.T) {
 }
 
 func TestStatsCount(t *testing.T) {
-	before := GlobalStats.XAcquires.Load()
+	beforeX := Metrics().Value("latch.x_acquires")
+	beforeS := Metrics().Value("latch.s_acquires")
 	var l Latch
 	l.Acquire(X)
 	l.Release(X)
-	if GlobalStats.XAcquires.Load() != before+1 {
-		t.Error("X acquire not counted")
+	l.Acquire(S)
+	l.Release(S)
+	if got := Metrics().Value("latch.x_acquires"); got != beforeX+1 {
+		t.Errorf("X acquire not counted: %d want %d", got, beforeX+1)
+	}
+	if got := Metrics().Value("latch.s_acquires"); got != beforeS+1 {
+		t.Errorf("S acquire not counted: %d want %d", got, beforeS+1)
+	}
+}
+
+func TestOptStatsFold(t *testing.T) {
+	r0 := Metrics().Value("latch.opt_reads")
+	s0 := Metrics().Value("latch.opt_restarts")
+	f0 := Metrics().Value("latch.opt_fallbacks")
+	AddOptStats(5, 2, 1)
+	AddOptStats(0, 0, 0) // no-op fold must not disturb anything
+	if got := Metrics().Value("latch.opt_reads"); got != r0+5 {
+		t.Errorf("opt_reads = %d, want %d", got, r0+5)
+	}
+	if got := Metrics().Value("latch.opt_restarts"); got != s0+2 {
+		t.Errorf("opt_restarts = %d, want %d", got, s0+2)
+	}
+	if got := Metrics().Value("latch.opt_fallbacks"); got != f0+1 {
+		t.Errorf("opt_fallbacks = %d, want %d", got, f0+1)
 	}
 }

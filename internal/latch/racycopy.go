@@ -1,0 +1,27 @@
+package latch
+
+import (
+	"unsafe" // for go:linkname
+)
+
+//go:linkname memmove runtime.memmove
+//go:noescape
+func memmove(to, from unsafe.Pointer, n uintptr)
+
+// RacyCopy copies len(dst) bytes from src into dst without synchronization
+// and without race-detector instrumentation. It exists for the optimistic
+// read protocol: the source bytes may be concurrently written by an X
+// holder, and that race is intentional — the caller discards the copy
+// unless Validate proves the window was quiet. Routing the copy through
+// runtime.memmove keeps the deliberate race out of the race detector's
+// shadow memory, so -race builds exercise the real protocol instead of
+// drowning in reports about the one race the version check exists to
+// resolve.
+//
+// dst must not overlap src, and src must have at least len(dst) bytes.
+func RacyCopy(dst, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	memmove(unsafe.Pointer(&dst[0]), unsafe.Pointer(&src[0]), uintptr(len(dst)))
+}

@@ -147,6 +147,27 @@ func (p *Page) Init(id PageID, level uint16) {
 // callers must not retain it across modifications.
 func (p *Page) Bytes() []byte { return p.buf[:] }
 
+// UsedBounds returns the extent of the page's used regions: front is the
+// end of the slot directory, tail the start of the entry bodies. Bytes in
+// [front, tail) are free space and hold no live data on a consistent page
+// (every slot offset points at or past freeEnd). Both values are clamped
+// to [HeaderSize, Size] so they are safe to use as copy bounds even when
+// the header was read mid-mutation and is torn.
+func (p *Page) UsedBounds() (front, tail int) {
+	front = HeaderSize + int(p.u16(offNumSlots))*slotSize
+	if front > Size {
+		front = Size
+	}
+	tail = int(p.u16(offFreeEnd))
+	if tail < front {
+		tail = front // nonsense header: copy the whole remainder
+	}
+	if tail > Size {
+		tail = Size
+	}
+	return front, tail
+}
+
 // CopyFrom replaces the entire page image with the contents of b, which must
 // be exactly Size bytes.
 func (p *Page) CopyFrom(b []byte) error {
