@@ -34,6 +34,7 @@ type document struct {
 	Maint      any              `json:"maint,omitempty"`
 	Cancel     any              `json:"cancel,omitempty"`
 	Readscale  any              `json:"readscale,omitempty"`
+	Restart    any              `json:"restart,omitempty"`
 }
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 	maintPath := flag.String("maint", "", "optional gistbench -exp maint -json soak snapshot to embed")
 	cancelPath := flag.String("cancel", "", "optional gistbench -exp cancel -json soak snapshot to embed")
 	readscalePath := flag.String("readscale", "", "optional gistbench -exp readscale -json soak snapshot to embed")
+	restartPath := flag.String("restart", "", "optional gistbench -exp restart -json soak snapshot to embed")
 	flag.Parse()
 
 	in := os.Stdin
@@ -80,6 +82,11 @@ func main() {
 		raw, err := os.ReadFile(*readscalePath)
 		fatalIf(err)
 		fatalIf(json.Unmarshal(raw, &doc.Readscale))
+	}
+	if *restartPath != "" {
+		raw, err := os.ReadFile(*restartPath)
+		fatalIf(err)
+		fatalIf(json.Unmarshal(raw, &doc.Restart))
 	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")

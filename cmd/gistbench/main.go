@@ -40,7 +40,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, crashfuzz, maint, cancel, readscale, all")
+	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, crashfuzz, maint, cancel, readscale, restart, all")
 	threadsFlag = flag.String("threads", "1,2,4,8,16", "goroutine counts for throughput experiments")
 	keysFlag    = flag.Int("keys", 20000, "working-set size for throughput experiments")
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per throughput cell")
@@ -74,6 +74,7 @@ func main() {
 	run("maint", expMaint)
 	run("cancel", expCancel)
 	run("readscale", expReadscale)
+	run("restart", expRestart)
 }
 
 // maintCell is one soak measurement: an insert/delete churn workload run

@@ -155,20 +155,25 @@ type Options struct {
 	// production defaults; set Manual to drive the daemons by explicit
 	// ticks instead of goroutines.
 	Maintenance *MaintenanceOptions
+	// RecoveryWorkers is the fan-out of restart's parallel redo drain and
+	// loser undo (0 = GOMAXPROCS; 1 = the serial single-goroutine order,
+	// the determinism gate for byte-exact repro of a restart).
+	RecoveryWorkers int
 }
 
 // DB is an open database.
 type DB struct {
-	opts  Options
-	disk  storage.Manager
-	mem   *storage.MemDisk // non-nil when in-memory (for crash simulation)
-	log   *wal.Log
-	pool  *buffer.Pool
-	locks *lock.Manager
-	preds *predicate.Manager
-	tm    *txn.Manager
-	heap  *heap.File
-	maint *maintenance.Manager // nil unless Options.Maintenance was set
+	opts   Options
+	disk   storage.Manager
+	mem    *storage.MemDisk // non-nil when in-memory (for crash simulation)
+	log    *wal.Log
+	pool   *buffer.Pool
+	locks  *lock.Manager
+	preds  *predicate.Manager
+	tm     *txn.Manager
+	heap   *heap.File
+	maint  *maintenance.Manager // nil unless Options.Maintenance was set
+	recReg *stats.Registry      // restart metrics; nil if this open ran no recovery
 
 	mu      sync.Mutex
 	catalog page.PageID
@@ -302,7 +307,11 @@ func (db *DB) bootstrap() error {
 
 // recover runs ARIES restart over the existing log and page store.
 func (db *DB) recover() error {
-	rec := &recovery.Recovery{Log: db.log, Pool: db.pool, Disk: db.disk, TM: db.tm}
+	rec := &recovery.Recovery{
+		Log: db.log, Pool: db.pool, Disk: db.disk, TM: db.tm,
+		Workers: db.opts.RecoveryWorkers,
+	}
+	db.recReg = rec.Metrics()
 	_, err := rec.Run(func() error {
 		gist.RegisterRecoveryHandlers(db.tm, db.pool)
 		return nil
@@ -542,6 +551,9 @@ func (db *DB) Metrics() map[string]int64 {
 	}
 	if db.maint != nil {
 		regs = append(regs, db.maint.Metrics())
+	}
+	if db.recReg != nil {
+		regs = append(regs, db.recReg)
 	}
 	return stats.Merged(regs...)
 }

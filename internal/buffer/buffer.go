@@ -38,6 +38,12 @@ import (
 // be found after retrying.
 var ErrPoolExhausted = errors.New("buffer: all frames pinned")
 
+// ErrPinned is returned by Deallocate when the page's frame is pinned. The
+// pin can be transient — eviction write-back pins the victim frame around
+// its I/O — so concurrent callers that know no durable pin exists (restart's
+// parallel redo) may retry on it.
+var ErrPinned = errors.New("buffer: deallocate pinned page")
+
 type frameState int
 
 const (
@@ -150,13 +156,13 @@ type Pool struct {
 	shards   []*shard
 	capacity int
 
-	reg       *stats.Registry
-	hits      *stats.Counter
-	misses    *stats.Counter
-	evicts    *stats.Counter
-	steals       *stats.Counter // frames migrated between shards
-	stealBatches *stats.Counter // steal operations (steals ÷ batches = batch size)
-	contended *stats.Counter // shard mutex acquisitions that blocked
+	reg           *stats.Registry
+	hits          *stats.Counter
+	misses        *stats.Counter
+	evicts        *stats.Counter
+	steals        *stats.Counter // frames migrated between shards
+	stealBatches  *stats.Counter // steal operations (steals ÷ batches = batch size)
+	contended     *stats.Counter // shard mutex acquisitions that blocked
 	ringHits      *stats.Counter // steals satisfied by the preferred ring neighbor
 	loadWaitNanos *stats.Counter // time spent parked on Loading/Writing frames
 
@@ -866,7 +872,7 @@ func (p *Pool) Deallocate(id page.PageID) error {
 	if f, ok := s.table[id]; ok {
 		if f.pins > 0 {
 			s.mu.Unlock()
-			return fmt.Errorf("buffer: deallocate pinned page %d", id)
+			return fmt.Errorf("%w %d", ErrPinned, id)
 		}
 		delete(s.table, id)
 		f.state = stateFree

@@ -44,6 +44,7 @@ import (
 	"repro/internal/page"
 	"repro/internal/predicate"
 	"repro/internal/recovery"
+	"repro/internal/shards"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -174,7 +175,12 @@ func (m *machine) txnFinished(id page.TxnID) {
 }
 
 func (m *machine) recover(anchor page.PageID, cfg gist.Config) (*recovery.Stats, error) {
-	rec := &recovery.Recovery{Log: m.log, Pool: m.pool, Disk: m.disk, TM: m.tm}
+	// Restart runs with the full parallel fan-out so every fuzzed crash
+	// exercises the multi-worker redo drain and concurrent loser undo.
+	rec := &recovery.Recovery{
+		Log: m.log, Pool: m.pool, Disk: m.disk, TM: m.tm,
+		Workers: shards.Workers(),
+	}
 	return rec.Run(func() error {
 		t, err := gist.Open(m.pool, m.tm, cfg, anchor)
 		if err != nil {

@@ -1,0 +1,104 @@
+package recovery_test
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/recovery"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+var errReadFault = errors.New("injected read fault")
+
+// readFaultDisk fails exactly the Nth ReadPage of one target page and
+// passes everything else through, so a fault can be aimed at a specific
+// fetch of a specific redo step.
+type readFaultDisk struct {
+	storage.Manager
+	target page.PageID
+	failOn int32
+	reads  atomic.Int32
+}
+
+func (d *readFaultDisk) ReadPage(id page.PageID, buf []byte) error {
+	if id == d.target && d.reads.Add(1) == d.failOn {
+		return errReadFault
+	}
+	return d.Manager.ReadPage(id, buf)
+}
+
+// TestRedoFreePageFetchErrorFailsRestart pins the Free-Page redo bugfix:
+// the old code discarded every Pool.Fetch error on the Free-Page path
+// (`if f, err := r.Pool.Fetch(...); err == nil { ... }`), so a real I/O
+// failure silently skipped the deallocation stamp and restart reported
+// success over a page image it never saw. Only storage.ErrNoSuchPage (the
+// page legitimately gone from the allocation state) may be skipped; any
+// other fetch error must fail the restart.
+//
+// The log is arranged so the Free-Page redo performs a real disk read: the
+// target page is allocated (read #1 at its Get-Page redo), evicted from a
+// tiny pool by filler allocations, freed (read #2 — the injected fault),
+// and reallocated by a later transaction, which keeps the allocation-replay
+// end state allocated so the Free-Page redo genuinely fetches.
+func TestRedoFreePageFetchErrorFailsRestart(t *testing.T) {
+	buildLog := func() *wal.Log {
+		l := wal.NewMemLog()
+		const target = page.PageID(1)
+		commit := func(txn page.TxnID) {
+			l.Append(&wal.Record{Type: wal.RecCommit, Txn: txn})
+			l.Append(&wal.Record{Type: wal.RecEnd, Txn: txn})
+		}
+		// T1 allocates the target page.
+		l.Append(&wal.Record{Type: wal.RecGetPage, Txn: 1, Pg: target})
+		commit(1)
+		// T2 floods the 8-frame pool so the target's frame is evicted
+		// (written back) before its Free-Page record comes up for redo.
+		for i := 0; i < 32; i++ {
+			l.Append(&wal.Record{Type: wal.RecGetPage, Txn: 2, Pg: target + 1 + page.PageID(i)})
+		}
+		commit(2)
+		// T3 frees the target: redo of this record is the fetch under test.
+		l.Append(&wal.Record{Type: wal.RecFreePage, Txn: 3, Pg: target})
+		commit(3)
+		// T4 reallocates it.
+		l.Append(&wal.Record{Type: wal.RecGetPage, Txn: 4, Pg: target})
+		commit(4)
+		if err := l.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	l := buildLog()
+	disk := &readFaultDisk{Manager: storage.NewMemDisk(), target: 1, failOn: 2}
+	pool := buffer.New(disk, 8, l)
+	rec := &recovery.Recovery{Log: l, Pool: pool, Disk: disk, Workers: 1}
+	_, err := rec.Run(nil)
+	if err == nil {
+		t.Fatal("restart succeeded over an injected Free-Page fetch I/O error")
+	}
+	if !errors.Is(err, errReadFault) {
+		t.Fatalf("restart failed with %v, want the injected read fault", err)
+	}
+	if !strings.Contains(err.Error(), "recovery: redo") {
+		t.Errorf("error %q lacks the redo phase context", err)
+	}
+	if got := disk.reads.Load(); got != 2 {
+		t.Fatalf("target page read %d times, want 2 (the second read is the faulted Free-Page fetch)", got)
+	}
+
+	// Control: the identical restart with no fault armed succeeds, so the
+	// failure above is exactly the propagated fetch error.
+	l2 := buildLog()
+	mem := storage.NewMemDisk()
+	pool2 := buffer.New(mem, 8, l2)
+	rec2 := &recovery.Recovery{Log: l2, Pool: pool2, Disk: mem, Workers: 1}
+	if _, err := rec2.Run(nil); err != nil {
+		t.Fatalf("control restart without fault failed: %v", err)
+	}
+}

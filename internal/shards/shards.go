@@ -40,6 +40,22 @@ func Count(limit int) int {
 	return n
 }
 
+// Workers returns the fan-out for CPU-bound restart phases (parallel redo
+// queue drain, concurrent loser undo): GOMAXPROCS clamped to [1, 64]. Unlike
+// Count it is not rounded up to a power of two and has no floor above one —
+// workers execute rather than hash-partition, so extra goroutines beyond the
+// CPU count buy nothing, and a single-CPU box should stay serial.
+func Workers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return n
+}
+
 // ceilPow2 returns the smallest power of two >= v (v <= 1 gives 1).
 func ceilPow2(v int) int {
 	n := 1

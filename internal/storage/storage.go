@@ -10,6 +10,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/page"
@@ -180,6 +181,20 @@ func (m *MemDisk) Snapshot() *MemDisk {
 		s.pages[id] = cp
 	}
 	return s
+}
+
+// PageIDs returns the ids of all live pages in ascending order, for tests
+// and benchmarks that digest the durable state (e.g. comparing the recovered
+// images of a serial vs a parallel restart byte for byte).
+func (m *MemDisk) PageIDs() []page.PageID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]page.PageID, 0, len(m.pages))
+	for id := range m.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // EnsureAllocated implements Manager.

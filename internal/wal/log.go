@@ -905,6 +905,33 @@ func (l *Log) Scan(from page.LSN, fn func(*Record) bool) {
 	}
 }
 
+// SnapshotScan calls fn for every record with LSN >= from, in LSN order,
+// stopping early if fn returns false. Unlike Scan it seals and snapshots the
+// whole index once up front and then iterates without touching l.mu or
+// waitSealed per record — the batched mode restart uses for its single
+// forward pass, where recovery owns the log exclusively and scanning a
+// million records one lock acquisition at a time is pure overhead.
+//
+// The snapshot covers every LSN assigned before the call; records appended
+// concurrently are simply not visited. The caller must ensure no concurrent
+// DiscardBefore (which rewrites the index in place) — true during restart,
+// where the maintenance daemons are not yet running.
+func (l *Log) SnapshotScan(from page.LSN, fn func(*Record) bool) {
+	l.waitSealed(page.LSN(l.next.Load()))
+	l.mu.Lock()
+	l.drainLocked()
+	base, records := l.base, l.records
+	l.mu.Unlock()
+	if from < base+1 {
+		from = base + 1
+	}
+	for i := int(from - base - 1); i < len(records); i++ {
+		if !fn(records[i]) {
+			return
+		}
+	}
+}
+
 // MasterCheckpoint returns the LSN of the latest checkpoint record, or 0.
 func (l *Log) MasterCheckpoint() page.LSN {
 	l.mu.Lock()

@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/page"
+)
+
+// collect gathers the LSNs a scan visits.
+func collectLSNs(scan func(page.LSN, func(*Record) bool), from page.LSN) []page.LSN {
+	var out []page.LSN
+	scan(from, func(r *Record) bool {
+		out = append(out, r.LSN)
+		return true
+	})
+	return out
+}
+
+func TestSnapshotScanMatchesScan(t *testing.T) {
+	l := NewMemLog()
+	for i := 1; i <= 40; i++ {
+		l.Append(&Record{Type: RecAddLeafEntry, Txn: page.TxnID(i%3 + 1), Pg: page.PageID(i % 7)})
+	}
+	for _, from := range []page.LSN{0, 1, 2, 17, 40, 41, 100} {
+		want := collectLSNs(l.Scan, from)
+		got := collectLSNs(l.SnapshotScan, from)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("from %d: SnapshotScan visited %v, Scan visited %v", from, got, want)
+		}
+	}
+}
+
+func TestSnapshotScanEarlyStop(t *testing.T) {
+	l := NewMemLog()
+	for i := 0; i < 10; i++ {
+		l.Append(&Record{Type: RecBegin, Txn: 1})
+	}
+	n := 0
+	l.SnapshotScan(1, func(r *Record) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Errorf("visited %d records after early stop, want 4", n)
+	}
+}
+
+func TestSnapshotScanClampsToDiscardedHead(t *testing.T) {
+	l := NewMemLog()
+	for i := 0; i < 20; i++ {
+		l.Append(&Record{Type: RecBegin, Txn: 1})
+	}
+	if err := l.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.DiscardBefore(11); err != nil {
+		t.Fatal(err)
+	}
+	got := collectLSNs(l.SnapshotScan, 1)
+	want := collectLSNs(l.Scan, 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("after discard: SnapshotScan visited %v, Scan visited %v", got, want)
+	}
+	if len(got) == 0 || got[0] != 11 {
+		t.Errorf("first visited LSN = %v, want 11", got)
+	}
+}
