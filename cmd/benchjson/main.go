@@ -35,6 +35,7 @@ type document struct {
 	Cancel     any              `json:"cancel,omitempty"`
 	Readscale  any              `json:"readscale,omitempty"`
 	Restart    any              `json:"restart,omitempty"`
+	Repl       any              `json:"repl,omitempty"`
 }
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 	cancelPath := flag.String("cancel", "", "optional gistbench -exp cancel -json soak snapshot to embed")
 	readscalePath := flag.String("readscale", "", "optional gistbench -exp readscale -json soak snapshot to embed")
 	restartPath := flag.String("restart", "", "optional gistbench -exp restart -json soak snapshot to embed")
+	replPath := flag.String("repl", "", "optional gistbench -exp repl -json soak snapshot to embed")
 	flag.Parse()
 
 	in := os.Stdin
@@ -87,6 +89,11 @@ func main() {
 		raw, err := os.ReadFile(*restartPath)
 		fatalIf(err)
 		fatalIf(json.Unmarshal(raw, &doc.Restart))
+	}
+	if *replPath != "" {
+		raw, err := os.ReadFile(*replPath)
+		fatalIf(err)
+		fatalIf(json.Unmarshal(raw, &doc.Repl))
 	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")

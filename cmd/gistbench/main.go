@@ -40,7 +40,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, crashfuzz, maint, cancel, readscale, restart, all")
+	expFlag     = flag.String("exp", "all", "experiment: figure2, table1, throughput, predicates, latchio, nsn, gc, isolation, metrics, crashfuzz, maint, cancel, readscale, restart, repl, all")
 	threadsFlag = flag.String("threads", "1,2,4,8,16", "goroutine counts for throughput experiments")
 	keysFlag    = flag.Int("keys", 20000, "working-set size for throughput experiments")
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per throughput cell")
@@ -75,6 +75,7 @@ func main() {
 	run("cancel", expCancel)
 	run("readscale", expReadscale)
 	run("restart", expRestart)
+	run("repl", expRepl)
 }
 
 // maintCell is one soak measurement: an insert/delete churn workload run

@@ -1,0 +1,415 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	gistdb "repro"
+	"repro/internal/btree"
+)
+
+// replCell is the repl soak's measurement: a primary under concurrent write
+// churn ships its log over TCP loopback to a live replica serving reads,
+// with the apply lag sampled throughout; the run quiesces twice for an
+// exact primary/replica result-set comparison and ends with a promotion
+// that must carry the full committed state and accept new writes.
+type replCell struct {
+	Writers        int     `json:"writers"`
+	Readers        int     `json:"readers"`
+	WriterOps      int64   `json:"writer_ops"`
+	ReaderOps      int64   `json:"reader_ops"`
+	WriterOpsSec   float64 `json:"writer_ops_per_sec"`
+	ReaderOpsSec   float64 `json:"reader_ops_per_sec"`
+	AppliedLSN     int64   `json:"applied_lsn"`
+	MaxLagLSN      int64   `json:"max_lag_lsn"`
+	AvgLagLSN      float64 `json:"avg_lag_lsn"`
+	LagSamples     int64   `json:"lag_samples"`
+	ApplyBatches   int64   `json:"apply_batches"`
+	ApplyRecords   int64   `json:"apply_records"`
+	ShipBatches    int64   `json:"ship_batches"`
+	ShipBytes      int64   `json:"ship_bytes"`
+	Reconnects     int64   `json:"reconnects"`
+	Quiesces       int     `json:"quiesces"`
+	Entries        int     `json:"entries_at_promote"`
+	PromoteEntries int     `json:"entries_after_promote"`
+}
+
+func expRepl() {
+	cell, bad := replSoak()
+
+	if *jsonFlag {
+		out, err := json.MarshalIndent(cell, "", "  ")
+		must(err)
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("%-24s %12d\n", "writer ops", cell.WriterOps)
+		fmt.Printf("%-24s %12d\n", "reader ops (replica)", cell.ReaderOps)
+		fmt.Printf("%-24s %12.0f\n", "writer ops/sec", cell.WriterOpsSec)
+		fmt.Printf("%-24s %12.0f\n", "reader ops/sec", cell.ReaderOpsSec)
+		fmt.Printf("%-24s %12d\n", "applied LSN", cell.AppliedLSN)
+		fmt.Printf("%-24s %12d\n", "max apply lag (LSNs)", cell.MaxLagLSN)
+		fmt.Printf("%-24s %12.1f\n", "avg apply lag (LSNs)", cell.AvgLagLSN)
+		fmt.Printf("%-24s %12d\n", "shipped batches", cell.ShipBatches)
+		fmt.Printf("%-24s %12d\n", "shipped bytes", cell.ShipBytes)
+		fmt.Printf("%-24s %12d\n", "applied batches", cell.ApplyBatches)
+		fmt.Printf("%-24s %12d\n", "applied records", cell.ApplyRecords)
+		fmt.Printf("%-24s %12d\n", "reconnects", cell.Reconnects)
+		fmt.Printf("%-24s %12d\n", "quiesce comparisons", cell.Quiesces)
+		fmt.Printf("%-24s %12d\n", "entries at promote", cell.Entries)
+		fmt.Printf("%-24s %12d\n", "entries after promote", cell.PromoteEntries)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "gistbench: repl soak FAILED: %s\n", strings.Join(bad, "; "))
+		os.Exit(1)
+	}
+	if !*jsonFlag {
+		fmt.Println("RESULT: replica tracked the primary, matched it exactly at every quiesce, and promoted cleanly")
+	}
+}
+
+// replSoak runs the whole scenario and returns the cell plus acceptance
+// failures.
+func replSoak() (replCell, []string) {
+	var cell replCell
+	var badMu sync.Mutex
+	var bad []string
+	fail := func(format string, a ...any) {
+		badMu.Lock()
+		bad = append(bad, fmt.Sprintf(format, a...))
+		badMu.Unlock()
+	}
+
+	db, err := gistdb.Open(gistdb.Options{PoolPages: 4096})
+	must(err)
+	idx, err := db.CreateIndex("repl", btree.Ops{})
+	must(err)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	must(err)
+	go db.Shipper().ServeListener(ln)
+	addr := ln.Addr().String()
+
+	rep, err := gistdb.OpenReplica(gistdb.Options{PoolPages: 4096}, func() (io.ReadWriteCloser, error) {
+		return net.Dial("tcp", addr)
+	})
+	must(err)
+
+	// Preload, rendezvous, and open the replicated index.
+	const preload = 500
+	var mu sync.Mutex
+	committed := make(map[int64]gistdb.RID, preload)
+	for i := 0; i < preload; i++ {
+		tx, err := db.Begin()
+		must(err)
+		rid, err := idx.Insert(tx, btree.EncodeKey(int64(i)), []byte(fmt.Sprintf("v-%d", i)))
+		must(err)
+		must(tx.Commit())
+		committed[int64(i)] = rid
+	}
+	must(quiesce(db, rep))
+	ridx, err := rep.OpenIndex("repl", btree.Ops{})
+	must(err)
+
+	writers, readers := 4, 4
+	cell.Writers, cell.Readers = writers, readers
+	var writerOps, readerOps atomic.Int64
+	var lagSamples, lagSum, lagMax atomic.Int64
+
+	// Per-writer key state persists across phases: each writer's next fresh
+	// key and its own committed keys. Without this a second phase would
+	// re-insert phase-one keys as duplicate entries.
+	type writerState struct {
+		rng  *rand.Rand
+		next int64
+		mine []int64
+	}
+	wstate := make([]*writerState, writers)
+	for g := range wstate {
+		wstate[g] = &writerState{
+			rng:  rand.New(rand.NewSource(int64(g) + 1)),
+			next: int64(g+1) << 32,
+		}
+	}
+
+	phase := func(dur time.Duration) {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(gid int) {
+				defer wg.Done()
+				ws := wstate[gid]
+				rng := ws.rng
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					tx, err := db.Begin()
+					if err != nil {
+						return
+					}
+					if rng.Intn(10) < 7 || len(ws.mine) == 0 {
+						k := ws.next
+						ws.next++
+						rid, err := idx.Insert(tx, btree.EncodeKey(k), []byte(fmt.Sprintf("v-%d", k)))
+						if err != nil {
+							tx.Abort()
+							continue
+						}
+						if tx.Commit() == nil {
+							mu.Lock()
+							committed[k] = rid
+							mu.Unlock()
+							ws.mine = append(ws.mine, k)
+							writerOps.Add(1)
+						}
+					} else {
+						i := rng.Intn(len(ws.mine))
+						k := ws.mine[i]
+						mu.Lock()
+						rid := committed[k]
+						mu.Unlock()
+						if err := idx.Delete(tx, btree.EncodeKey(k), rid); err != nil {
+							tx.Abort()
+							continue
+						}
+						if tx.Commit() == nil {
+							mu.Lock()
+							delete(committed, k)
+							mu.Unlock()
+							ws.mine = append(ws.mine[:i], ws.mine[i+1:]...)
+							writerOps.Add(1)
+						}
+					}
+				}
+			}(g)
+		}
+		for g := 0; g < readers; g++ {
+			wg.Add(1)
+			go func(gid int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(gid) + 101))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					tx, err := rep.Begin()
+					if err != nil {
+						return // promoted or closed
+					}
+					lo := int64(rng.Intn(preload))
+					res, err := ridx.Search(tx, btree.EncodeRange(lo, lo+50), gistdb.ReadCommitted)
+					if err == nil {
+						for _, sr := range res {
+							if rec, err := ridx.Fetch(sr.RID); err == nil {
+								want := fmt.Sprintf("v-%d", btree.DecodeKey(sr.Key))
+								if string(rec) != want {
+									fail("replica fetch mismatch: %q != %q", rec, want)
+								}
+							}
+						}
+						readerOps.Add(1)
+					}
+					tx.Close()
+				}
+			}(g)
+		}
+		// Lag sampler.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(5 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					lag := int64(rep.Lag())
+					lagSamples.Add(1)
+					lagSum.Add(lag)
+					for {
+						cur := lagMax.Load()
+						if lag <= cur || lagMax.CompareAndSwap(cur, lag) {
+							break
+						}
+					}
+				}
+			}
+		}()
+		time.Sleep(dur)
+		close(stop)
+		wg.Wait()
+	}
+
+	compare := func() map[int64]bool {
+		must(quiesce(db, rep))
+		p, err := primaryKeys(db, idx)
+		must(err)
+		r, err := replicaKeys(rep, ridx)
+		must(err)
+		if len(p) != len(r) {
+			fail("quiesce divergence: primary %d keys, replica %d", len(p), len(r))
+		} else {
+			for k := range p {
+				if !r[k] {
+					fail("quiesce divergence: key %d on primary only", k)
+					break
+				}
+			}
+		}
+		cell.Quiesces++
+		return r
+	}
+
+	half := *durFlag / 2
+	phase(half)
+	compare()
+	phase(half)
+	finalKeys := compare()
+	entries := len(finalKeys)
+	cell.Entries = entries
+
+	elapsed := (*durFlag).Seconds()
+	cell.WriterOps = writerOps.Load()
+	cell.ReaderOps = readerOps.Load()
+	cell.WriterOpsSec = float64(cell.WriterOps) / elapsed
+	cell.ReaderOpsSec = float64(cell.ReaderOps) / elapsed
+	cell.AppliedLSN = int64(rep.AppliedLSN())
+	cell.MaxLagLSN = lagMax.Load()
+	cell.LagSamples = lagSamples.Load()
+	if cell.LagSamples > 0 {
+		cell.AvgLagLSN = float64(lagSum.Load()) / float64(cell.LagSamples)
+	}
+	pm, rm := db.Metrics(), rep.Metrics()
+	cell.ShipBatches = pm["repl.ship_batches"]
+	cell.ShipBytes = pm["repl.ship_bytes"]
+	cell.ApplyBatches = rm["repl.apply_batches"]
+	cell.ApplyRecords = rm["repl.apply_records"]
+	cell.Reconnects = rm["repl.reconnects"]
+
+	if _, err := ridx.Check(); err != nil {
+		fail("replica invariants: %v", err)
+	}
+
+	// Failover: kill the primary, promote the replica, and demand the full
+	// committed state plus acceptance of new writes.
+	must(db.Close())
+	ln.Close()
+	promoted, err := rep.Promote()
+	if err != nil {
+		fail("promote: %v", err)
+		return cell, bad
+	}
+	defer promoted.Close()
+	pidx, err := promoted.OpenIndex("repl", btree.Ops{})
+	if err != nil {
+		fail("promoted index: %v", err)
+		return cell, bad
+	}
+	tx, err := promoted.Begin()
+	must(err)
+	res, err := pidx.Search(tx, btree.EncodeRange(-1<<40, 1<<40), gistdb.ReadCommitted)
+	must(err)
+	must(tx.Commit())
+	pkeys := keySet(res)
+	if len(pkeys) != entries {
+		fail("promoted state has %d keys, replica had %d at quiesce", len(pkeys), entries)
+	} else {
+		for k := range finalKeys {
+			if !pkeys[k] {
+				fail("key %d lost across promotion", k)
+				break
+			}
+		}
+	}
+	tx2, err := promoted.Begin()
+	must(err)
+	const newKey = int64(1) << 45
+	if _, err := pidx.Insert(tx2, btree.EncodeKey(newKey), []byte("post-promote")); err != nil {
+		fail("post-promote insert: %v", err)
+		tx2.Abort()
+	} else {
+		must(tx2.Commit())
+	}
+	if _, err := pidx.Check(); err != nil {
+		fail("promoted invariants: %v", err)
+	}
+	cell.PromoteEntries = entries + 1
+
+	// Acceptance: the replica must have actually carried read traffic while
+	// lagging visibly behind a live write stream, with zero divergence.
+	if cell.ReaderOps == 0 {
+		fail("replica served no reads")
+	}
+	if cell.WriterOps == 0 {
+		fail("primary performed no writes")
+	}
+	if cell.ApplyBatches == 0 {
+		fail("replica applied no batches")
+	}
+	if cell.LagSamples == 0 {
+		fail("lag was never sampled")
+	}
+	return cell, bad
+}
+
+// primaryKeys returns the primary's full committed key set.
+func primaryKeys(db *gistdb.DB, idx *gistdb.Index) (map[int64]bool, error) {
+	tx, err := db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Commit()
+	res, err := idx.Search(tx, btree.EncodeRange(-1<<40, 1<<40), gistdb.ReadCommitted)
+	if err != nil {
+		return nil, err
+	}
+	return keySet(res), nil
+}
+
+// replicaKeys returns the replica's full visible key set.
+func replicaKeys(rep *gistdb.ReplicaDB, ridx *gistdb.ReplicaIndex) (map[int64]bool, error) {
+	tx, err := rep.Begin()
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Close()
+	res, err := ridx.Search(tx, btree.EncodeRange(-1<<40, 1<<40), gistdb.ReadCommitted)
+	if err != nil {
+		return nil, err
+	}
+	return keySet(res), nil
+}
+
+func keySet(res []gistdb.SearchResult) map[int64]bool {
+	keys := make(map[int64]bool, len(res))
+	for _, sr := range res {
+		keys[btree.DecodeKey(sr.Key)] = true
+	}
+	return keys
+}
+
+// quiesce forces the primary's log durable and blocks until the replica has
+// applied through it: afterwards both serve the identical committed state.
+func quiesce(db *gistdb.DB, rep *gistdb.ReplicaDB) error {
+	if err := db.WAL().FlushAll(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return rep.WaitApplied(ctx, db.WAL().FlushedLSN())
+}

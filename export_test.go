@@ -1,0 +1,13 @@
+package gistdb
+
+import "repro/internal/storage"
+
+// Test-only hooks into the replica's engine parts, for byte-level
+// convergence checks in replica_test.go.
+
+// ReplicaMem exposes the replica's memory disk.
+func ReplicaMem(r *ReplicaDB) *storage.MemDisk { return r.mem }
+
+// ReplicaFlushPool writes the replica pool's dirty pages back to its disk so
+// two replicas' disks can be compared byte-for-byte.
+func ReplicaFlushPool(r *ReplicaDB) error { return r.pool.FlushAll() }

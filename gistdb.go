@@ -46,6 +46,7 @@ import (
 	"repro/internal/page"
 	"repro/internal/predicate"
 	"repro/internal/recovery"
+	"repro/internal/repl"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -179,6 +180,9 @@ type DB struct {
 	catalog page.PageID
 	indexes map[string]*Index
 	closed  bool
+
+	shipMu  sync.Mutex
+	shipper *repl.Shipper // lazily created by Shipper()
 }
 
 // catalogPage is the conventional id of the catalog page: the first page
@@ -246,14 +250,49 @@ func (db *DB) startMaintenance() {
 		return
 	}
 	db.maint = maintenance.New(maintenance.Deps{
-		Log:      db.log,
-		TM:       db.tm,
-		Pool:     db.pool,
-		Disk:     db.disk,
-		Trees:    db.openTrees,
-		Pressure: db.pressureScore,
+		Log:       db.log,
+		TM:        db.tm,
+		Pool:      db.pool,
+		Disk:      db.disk,
+		Trees:     db.openTrees,
+		Pressure:  db.pressureScore,
+		ReplBound: db.replBound,
 	}, *db.opts.Maintenance)
 	db.maint.Start()
+}
+
+// Shipper returns the database's log shipper, creating it on first use.
+// Serve replica connections with Shipper().Serve (one per transport) or
+// Shipper().ServeListener; while subscribers are live, background log
+// truncation is clamped so they can always resume (see
+// maintenance.Deps.ReplBound).
+func (db *DB) Shipper() *repl.Shipper {
+	db.shipMu.Lock()
+	defer db.shipMu.Unlock()
+	if db.shipper == nil {
+		// The snapshot resync path lists allocated pages, a capability the
+		// raw MemDisk has but latency/fault wrappers do not forward.
+		disk := db.disk
+		if db.mem != nil {
+			disk = db.mem
+		}
+		db.shipper = repl.NewShipper(repl.PrimaryDeps{
+			Log: db.log, Pool: db.pool, Disk: disk, TM: db.tm,
+		})
+	}
+	return db.shipper
+}
+
+// replBound is the maintenance truncator's replication clamp: with no
+// shipper (or no subscribers) there is none.
+func (db *DB) replBound() page.LSN {
+	db.shipMu.Lock()
+	s := db.shipper
+	db.shipMu.Unlock()
+	if s == nil {
+		return page.MaxLSN
+	}
+	return s.TruncationBound()
 }
 
 // openTrees snapshots the trees of the currently open indexes for the GC
@@ -349,11 +388,17 @@ func decodeCatalogEntry(b []byte) (string, page.PageID, error) {
 
 // readCatalog scans the catalog page for an index's anchor.
 func (db *DB) readCatalog(name string) (page.PageID, error) {
-	f, err := db.pool.Fetch(db.catalog)
+	return readCatalogAt(db.pool, db.catalog, name)
+}
+
+// readCatalogAt is readCatalog over explicit parts (the replica facade has
+// no DB).
+func readCatalogAt(pool *buffer.Pool, catalog page.PageID, name string) (page.PageID, error) {
+	f, err := pool.Fetch(catalog)
 	if err != nil {
 		return 0, err
 	}
-	defer db.pool.Unpin(f, false, 0)
+	defer pool.Unpin(f, false, 0)
 	f.Latch.Acquire(latch.S)
 	defer f.Latch.Release(latch.S)
 	for i := 0; i < f.Page.NumSlots(); i++ {
@@ -504,7 +549,7 @@ func (db *DB) Begin() (*Tx, error) {
 // Checkpoint takes a fuzzy checkpoint and flushes dirty pages, bounding
 // restart work.
 func (db *DB) Checkpoint() error {
-	_, err := recovery.Checkpoint(db.tm, db.pool, db.disk)
+	_, err := recovery.CheckpointBounded(db.tm, db.pool, db.disk, db.replBound())
 	return err
 }
 
@@ -555,6 +600,11 @@ func (db *DB) Metrics() map[string]int64 {
 	if db.recReg != nil {
 		regs = append(regs, db.recReg)
 	}
+	db.shipMu.Lock()
+	if db.shipper != nil {
+		regs = append(regs, db.shipper.Metrics())
+	}
+	db.shipMu.Unlock()
 	return stats.Merged(regs...)
 }
 
@@ -563,6 +613,14 @@ func (db *DB) Metrics() map[string]int64 {
 // flusher, so the log may be Closed (stopping that goroutine) only after
 // the pool is done; log.Close then flushes its own tail synchronously.
 func (db *DB) Close() error {
+	// Stop replication sessions first: they read the log, whose flusher
+	// goroutine Close is about to stop.
+	db.shipMu.Lock()
+	shipper := db.shipper
+	db.shipMu.Unlock()
+	if shipper != nil {
+		shipper.Close()
+	}
 	// Stop the maintenance daemons before taking db.mu: an in-flight GC
 	// tick may be inside the openTrees callback waiting on db.mu, and Stop
 	// waits for the tick — taking the mutex first would deadlock.

@@ -85,6 +85,8 @@ type Result struct {
 	Restarts       int
 	Oracle         int // committed live entries per the survivor log
 	Stats          *recovery.Stats
+	PromoteLosers  int   // promote mode: loser transactions undone at failover
+	LostSuffix     int64 // promote mode: durable primary LSNs the replica never applied
 }
 
 // Repro is the command line that replays this scenario.

@@ -1,0 +1,71 @@
+package crashfuzz
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// promoteCorpus is the fixed failover seed corpus: every seed kills the
+// primary at a distinct torn write with a live replica attached and promotes
+// it; every fifth seed runs the quiesced zero-lag failover, whose promotion
+// must preserve every acknowledged outcome exactly.
+const promoteCorpus = 120
+
+// TestPromoteFuzz replays the failover corpus and demands zero invariant,
+// oracle, or divergence violations on the promoted replica.
+func TestPromoteFuzz(t *testing.T) {
+	calib, err := Calibrate(0, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := int64(promoteCorpus)
+	if testing.Short() {
+		n = 15
+	}
+	var mu sync.Mutex
+	sites := make(map[string]int)
+	lagged, zero, losers := 0, 0, 0
+
+	t.Run("seeds", func(t *testing.T) {
+		for seed := int64(1); seed <= n; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+				t.Parallel()
+				res, err := PromoteSeed(seed, t.TempDir(), calib)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mu.Lock()
+				sites[res.CrashSite]++
+				if res.LostSuffix > 0 {
+					lagged++
+				}
+				if res.Budget < 0 {
+					zero++
+				}
+				losers += res.PromoteLosers
+				mu.Unlock()
+			})
+		}
+	})
+
+	// Coverage: the corpus must kill the primary across several write
+	// sites, produce both lagged and zero-lag failovers, and promote
+	// through a non-empty surviving ATT at least once.
+	t.Logf("kill sites: %v", sites)
+	t.Logf("lagged failovers: %d, quiesced: %d, losers undone: %d", lagged, zero, losers)
+	if testing.Short() {
+		return
+	}
+	if zero == 0 {
+		t.Error("corpus never ran a quiesced zero-lag failover")
+	}
+	if lagged == 0 {
+		t.Error("corpus never lost a durable suffix to failover lag")
+	}
+	if losers == 0 {
+		t.Error("no promotion ever undid a surviving in-flight transaction")
+	}
+}

@@ -137,6 +137,12 @@ type Deps struct {
 	Disk     storage.Manager
 	Trees    func() []*gist.Tree
 	Pressure func() int64
+	// ReplBound, when non-nil, returns the replication clamp on log-head
+	// truncation: the highest bound that keeps every live log-shipping
+	// subscriber able to resume (min acked LSN + 1). page.MaxLSN means no
+	// clamp. It lets the truncator coexist with streaming replicas without
+	// stranding them into full resyncs.
+	ReplBound func() page.LSN
 }
 
 // Manager owns the four daemons. All Tick* methods are serialized by one
@@ -373,6 +379,11 @@ func (m *Manager) TruncationBound() page.LSN {
 	for _, rec := range m.d.Pool.DirtyPages() {
 		if rec != 0 && rec < bound {
 			bound = rec
+		}
+	}
+	if m.d.ReplBound != nil {
+		if rb := m.d.ReplBound(); rb < bound {
+			bound = rb
 		}
 	}
 	return bound

@@ -50,6 +50,11 @@ type LSN uint64
 // LSNs (§10.1).
 type NSN = LSN
 
+// MaxLSN is an LSN strictly greater than any LSN the log will ever hand
+// out: the "flush everything" / "no upper bound" sentinel. It is far below
+// the uint64 overflow line so arithmetic like MaxLSN+1 stays ordered.
+const MaxLSN LSN = 1 << 62
+
 // RID identifies a data record in the heap: a heap page and a slot on it.
 type RID struct {
 	Page PageID
@@ -477,11 +482,18 @@ func (p *Page) EnsureSlot(i int, body []byte) error {
 	}
 	for p.NumSlots() <= i {
 		n := p.NumSlots()
-		if p.FreeSpace() < 0 {
-			return ErrPageFull
-		}
 		if HeaderSize+(n+1)*slotSize > int(p.u16(offFreeEnd)) {
-			return ErrPageFull
+			// The directory can still grow if compaction reclaims garbage:
+			// the original insert that created this slot may itself have
+			// compacted. Compact preserves slot indices (dead slots stay
+			// dead in place), so it is safe mid-redo.
+			if p.u16(offGarbage) == 0 {
+				return ErrPageFull
+			}
+			p.Compact()
+			if HeaderSize+(n+1)*slotSize > int(p.u16(offFreeEnd)) {
+				return ErrPageFull
+			}
 		}
 		p.setSlot(n, 0, 0)
 		p.setU16(offNumSlots, uint16(n+1))

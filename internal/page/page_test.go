@@ -592,6 +592,58 @@ func TestEnsureSlotPadsAndReplaces(t *testing.T) {
 	}
 }
 
+// A redo replaying full history onto a near-full page must compact before
+// growing the slot directory, exactly as the original InsertBytes did: fill
+// a page, kill enough slots to leave garbage but no contiguous gap, then
+// EnsureSlot one past the directory end.
+func TestEnsureSlotCompactsForDirectoryGrowth(t *testing.T) {
+	p := New(1, 0)
+	body := make([]byte, 32)
+	n := 0
+	for {
+		if _, err := p.InsertBytes(body); err != nil {
+			break
+		}
+		n++
+	}
+	// Kill three mid-page slots: 96 bytes of garbage appear, but the gap
+	// between the directory and freeEnd stays under one slot entry per
+	// padding slot needed below — only compaction can make room.
+	for _, i := range []int{n / 2, n/2 + 1, n/2 + 2} {
+		if err := p.KillSlot(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.FreeSpace() >= len(body) {
+		t.Fatalf("page not near-full: free=%d", p.FreeSpace())
+	}
+	// Growing the directory by 9 slots (36 bytes) plus the 32-byte body
+	// exceeds any leftover gap; it fits only after garbage reclaim.
+	target := n + 8
+	if err := p.EnsureSlot(target, body); err != nil {
+		t.Fatalf("EnsureSlot past directory on garbage-bearing page: %v", err)
+	}
+	if p.NumSlots() != target+1 {
+		t.Fatalf("NumSlots = %d, want %d", p.NumSlots(), target+1)
+	}
+	if !p.SlotDead(n / 2) {
+		t.Error("killed slot resurrected by compaction")
+	}
+	if b, err := p.SlotBytes(target); err != nil || len(b) != len(body) {
+		t.Errorf("slot %d = %d bytes, err %v", target, len(b), err)
+	}
+	// A page with no garbage at all must still refuse.
+	q := New(2, 0)
+	for {
+		if _, err := q.InsertBytes(body); err != nil {
+			break
+		}
+	}
+	if err := q.EnsureSlot(q.NumSlots()+4, body); err != ErrPageFull {
+		t.Errorf("full page without garbage: %v", err)
+	}
+}
+
 func TestReplaceEntryAndEntries(t *testing.T) {
 	p := New(1, 0)
 	for i := 0; i < 4; i++ {

@@ -320,13 +320,13 @@ func (r *Recovery) scan() (*Analysis, int, *redoPlan, error) {
 	}
 	a.RedoLSN = page.LSN(1)
 	if len(a.DPT) > 0 {
-		min := page.LSN(1 << 62)
+		min := page.MaxLSN
 		for _, l := range a.DPT {
 			if l != 0 && l < min {
 				min = l
 			}
 		}
-		if min != 1<<62 {
+		if min != page.MaxLSN {
 			a.RedoLSN = min
 		}
 	} else if ck := r.Log.MasterCheckpoint(); ck != 0 {
@@ -708,6 +708,14 @@ func (r *Recovery) undo(a *Analysis, st *Stats, workers int) error {
 // checkpoint itself and the first LSN of any live transaction (whose
 // backchain rollback must be able to walk).
 func Checkpoint(tm *txn.Manager, pool *buffer.Pool, disk storage.Manager) (page.LSN, error) {
+	return CheckpointBounded(tm, pool, disk, page.MaxLSN)
+}
+
+// CheckpointBounded is Checkpoint with an external retention clamp: the log
+// head never advances past clamp even when restart no longer needs the
+// records. Log shipping uses this — a connected replica that has not acked
+// past clamp must still be able to resume its stream after a reconnect.
+func CheckpointBounded(tm *txn.Manager, pool *buffer.Pool, disk storage.Manager, clamp page.LSN) (page.LSN, error) {
 	lsn, err := tm.Checkpoint(pool.DirtyPages)
 	if err != nil {
 		return 0, err
@@ -721,6 +729,9 @@ func Checkpoint(tm *txn.Manager, pool *buffer.Pool, disk storage.Manager) (page.
 	bound := lsn
 	if m := tm.MinActiveFirstLSN(); m != 0 && m < bound {
 		bound = m
+	}
+	if clamp < bound {
+		bound = clamp
 	}
 	if _, err := tm.Log().DiscardBefore(bound); err != nil {
 		return 0, err

@@ -1,0 +1,225 @@
+// Package repl is WAL-shipping replication: a continuous restart. The
+// primary's shipper tails the durable log prefix (never past the flushed
+// watermark — records above it could still be lost to a crash, and a
+// replica that applied them would diverge from every state the primary can
+// restart into) and streams CRC-framed record batches to subscribers. Each
+// replica appends the stream to its own in-memory log verbatim and feeds it
+// through the restart redo machinery run as a long-lived loop
+// (recovery.Applier), so between batches its buffer pool holds exactly the
+// state a crash-restart over the received prefix would produce: consistent,
+// read-serviceable, and promotable. Promote drains the stream, aborts the
+// surviving in-flight transactions (restart's undo phase), and the replica
+// is a read-write primary.
+//
+// This file is the wire protocol. Every message is one frame:
+//
+//	u32 length | u32 CRC32-IEEE(payload) | payload
+//
+// where payload = 1-byte message type + body. Records travel in their
+// wal.Record.Encode() form — the same bytes the file log persists — so the
+// stream inherits the log's own encoding and its property that a record
+// re-decoded on the replica is indistinguishable from one recovered from
+// disk.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// Message types.
+const (
+	// msgHello opens a session (replica → primary): body is the resume
+	// LSN, the first record the replica wants (last acked + 1; 1 for a
+	// fresh replica).
+	msgHello = byte(1)
+	// msgRecords is one shipped batch (primary → replica): body is the
+	// primary's flushed watermark (for the lag gauge), then a count and
+	// count length-prefixed encoded records, contiguous by LSN.
+	msgRecords = byte(2)
+	// msgAck acknowledges apply progress (replica → primary): body is the
+	// replica's applied LSN. The primary's truncation clamp holds the log
+	// head at min(acked)+1 across subscribers.
+	msgAck = byte(3)
+	// msgSnap seeds a fresh replica whose resume point was truncated from
+	// the primary's log head: body is the snapshot base LSN (stream
+	// resumes at base+1) and full page images.
+	msgSnap = byte(4)
+	// msgErr is a terminal refusal (primary → replica), e.g. resync
+	// required but the disk cannot produce a snapshot.
+	msgErr = byte(5)
+)
+
+// maxFrame bounds a frame so a corrupt length prefix cannot allocate
+// unbounded memory. Snapshots ship many pages per frame; 1 GiB is far above
+// any honest frame this engine produces.
+const maxFrame = 1 << 30
+
+// ErrBadFrame is returned when a frame fails its CRC or structural checks.
+var ErrBadFrame = errors.New("repl: bad frame")
+
+// ErrResyncRequired is a shipper refusal: the subscriber's resume point
+// predates the retained log head and no snapshot path is available, so the
+// replica must be rebuilt from scratch.
+var ErrResyncRequired = errors.New("repl: resume point truncated; full resync required")
+
+// writeFrame sends one framed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: frame of %d bytes", ErrBadFrame, len(payload))
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one framed payload, verifying the CRC.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("%w: length %d", ErrBadFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.BigEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: crc mismatch", ErrBadFrame)
+	}
+	return payload, nil
+}
+
+// encodeHello builds a msgHello payload.
+func encodeHello(resumeFrom page.LSN) []byte {
+	b := make([]byte, 9)
+	b[0] = msgHello
+	binary.BigEndian.PutUint64(b[1:], uint64(resumeFrom))
+	return b
+}
+
+// encodeAck builds a msgAck payload.
+func encodeAck(applied page.LSN) []byte {
+	b := make([]byte, 9)
+	b[0] = msgAck
+	binary.BigEndian.PutUint64(b[1:], uint64(applied))
+	return b
+}
+
+// decodeLSN decodes the single-LSN body shared by msgHello and msgAck.
+func decodeLSN(payload []byte) (page.LSN, error) {
+	if len(payload) != 9 {
+		return 0, fmt.Errorf("%w: lsn body of %d bytes", ErrBadFrame, len(payload))
+	}
+	return page.LSN(binary.BigEndian.Uint64(payload[1:])), nil
+}
+
+// encodeRecords builds a msgRecords payload.
+func encodeRecords(flushed page.LSN, recs []*wal.Record) []byte {
+	b := make([]byte, 13, 13+len(recs)*64)
+	b[0] = msgRecords
+	binary.BigEndian.PutUint64(b[1:9], uint64(flushed))
+	binary.BigEndian.PutUint32(b[9:13], uint32(len(recs)))
+	for _, rec := range recs {
+		enc := rec.Encode()
+		var ln [4]byte
+		binary.BigEndian.PutUint32(ln[:], uint32(len(enc)))
+		b = append(b, ln[:]...)
+		b = append(b, enc...)
+	}
+	return b
+}
+
+// decodeRecords parses a msgRecords payload.
+func decodeRecords(payload []byte) (flushed page.LSN, recs []*wal.Record, err error) {
+	if len(payload) < 13 {
+		return 0, nil, fmt.Errorf("%w: records body of %d bytes", ErrBadFrame, len(payload))
+	}
+	flushed = page.LSN(binary.BigEndian.Uint64(payload[1:9]))
+	count := binary.BigEndian.Uint32(payload[9:13])
+	recs = make([]*wal.Record, 0, count)
+	b := payload[13:]
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 4 {
+			return 0, nil, fmt.Errorf("%w: truncated record length", ErrBadFrame)
+		}
+		n := binary.BigEndian.Uint32(b[:4])
+		b = b[4:]
+		if uint32(len(b)) < n {
+			return 0, nil, fmt.Errorf("%w: truncated record body", ErrBadFrame)
+		}
+		rec, derr := wal.DecodeRecord(b[:n])
+		if derr != nil {
+			return 0, nil, fmt.Errorf("%w: %v", ErrBadFrame, derr)
+		}
+		recs = append(recs, rec)
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(b))
+	}
+	return flushed, recs, nil
+}
+
+// snapPage is one page image of a snapshot.
+type snapPage struct {
+	id  page.PageID
+	img []byte
+}
+
+// encodeSnap builds a msgSnap payload.
+func encodeSnap(base page.LSN, pages []snapPage) []byte {
+	b := make([]byte, 13, 13+len(pages)*(4+page.Size))
+	b[0] = msgSnap
+	binary.BigEndian.PutUint64(b[1:9], uint64(base))
+	binary.BigEndian.PutUint32(b[9:13], uint32(len(pages)))
+	for _, p := range pages {
+		var id [4]byte
+		binary.BigEndian.PutUint32(id[:], uint32(p.id))
+		b = append(b, id[:]...)
+		b = append(b, p.img...)
+	}
+	return b
+}
+
+// decodeSnap parses a msgSnap payload.
+func decodeSnap(payload []byte) (base page.LSN, pages []snapPage, err error) {
+	if len(payload) < 13 {
+		return 0, nil, fmt.Errorf("%w: snap body of %d bytes", ErrBadFrame, len(payload))
+	}
+	base = page.LSN(binary.BigEndian.Uint64(payload[1:9]))
+	count := binary.BigEndian.Uint32(payload[9:13])
+	b := payload[13:]
+	if len(b) != int(count)*(4+page.Size) {
+		return 0, nil, fmt.Errorf("%w: snap body size", ErrBadFrame)
+	}
+	pages = make([]snapPage, count)
+	for i := range pages {
+		pages[i].id = page.PageID(binary.BigEndian.Uint32(b[:4]))
+		pages[i].img = b[4 : 4+page.Size : 4+page.Size]
+		b = b[4+page.Size:]
+	}
+	return base, pages, nil
+}
+
+// encodeErr builds a msgErr payload.
+func encodeErr(msg string) []byte {
+	b := make([]byte, 1+len(msg))
+	b[0] = msgErr
+	copy(b[1:], msg)
+	return b
+}

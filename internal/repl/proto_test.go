@@ -1,0 +1,79 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := encodeHello(42)
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload %x, want %x", got, payload)
+	}
+	lsn, err := decodeLSN(got)
+	if err != nil || lsn != 42 {
+		t.Fatalf("decodeLSN = %d, %v", lsn, err)
+	}
+}
+
+func TestFrameCRCRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, encodeAck(7)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] ^= 0x40 // flip a payload bit
+	if _, err := readFrame(bytes.NewReader(b)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("corrupt frame read: %v, want ErrBadFrame", err)
+	}
+}
+
+func TestRecordsRoundtrip(t *testing.T) {
+	recs := []*wal.Record{
+		{LSN: 5, Type: wal.RecBegin, Txn: 3},
+		{LSN: 6, Type: wal.RecAddLeafEntry, Txn: 3, Pg: 9, PrevLSN: 5, Body: []byte("entry-bytes")},
+		{LSN: 7, Type: wal.RecHeapInsert, Txn: 3, Pg: 4, RID: page.RID{Page: 4, Slot: 2}, PrevLSN: 6, Body: []byte("rec")},
+	}
+	payload := encodeRecords(99, recs)
+	flushed, got, err := decodeRecords(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushed != 99 || len(got) != len(recs) {
+		t.Fatalf("flushed %d, %d records", flushed, len(got))
+	}
+	for i, r := range got {
+		if r.LSN != recs[i].LSN || r.Type != recs[i].Type || r.Txn != recs[i].Txn ||
+			r.Pg != recs[i].Pg || r.RID != recs[i].RID || !bytes.Equal(r.Body, recs[i].Body) {
+			t.Fatalf("record %d decoded as %+v, want %+v", i, r, recs[i])
+		}
+	}
+}
+
+func TestSnapRoundtrip(t *testing.T) {
+	img1 := bytes.Repeat([]byte{0xAB}, page.Size)
+	img2 := bytes.Repeat([]byte{0x17}, page.Size)
+	payload := encodeSnap(123, []snapPage{{id: 1, img: img1}, {id: 9, img: img2}})
+	base, pages, err := decodeSnap(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 123 || len(pages) != 2 {
+		t.Fatalf("base %d, %d pages", base, len(pages))
+	}
+	if pages[0].id != 1 || !bytes.Equal(pages[0].img, img1) || pages[1].id != 9 || !bytes.Equal(pages[1].img, img2) {
+		t.Fatal("page images did not roundtrip")
+	}
+}

@@ -1,0 +1,347 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/latch"
+	"repro/internal/page"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// PrimaryDeps is what the shipper reads from the primary engine.
+type PrimaryDeps struct {
+	Log  *wal.Log
+	Pool *buffer.Pool
+	Disk storage.Manager
+	// TM enables the snapshot full-resync path (the stream start must
+	// cover every in-flight transaction's first record so a later Promote
+	// can undo it). Nil disables snapshots: a too-far-behind subscriber is
+	// refused instead.
+	TM *txn.Manager
+}
+
+// pageLister is the optional disk capability the snapshot path needs
+// (storage.MemDisk has it; a disk without it refuses resync).
+type pageLister interface {
+	PageIDs() []page.PageID
+}
+
+// BatchMax is the default cap on records per shipped batch.
+const BatchMax = 512
+
+// heartbeatEvery is how long an idle (fully caught-up) session waits before
+// sending an empty batch. The heartbeat is how the shipper notices a
+// subscriber that vanished while there was nothing to ship — without it, a
+// dead idle session would hold the truncation clamp forever — and it also
+// carries the current flushed watermark for the replica's lag gauge.
+const heartbeatEvery = 500 * time.Millisecond
+
+// session is one live subscriber, tracked for the truncation clamp.
+type session struct {
+	acked atomic.Uint64 // highest LSN the subscriber has applied
+}
+
+// Shipper tails a primary's WAL at the flushed watermark and streams it to
+// subscribers. One Serve call per subscriber; sessions follow a strict
+// alternating batch/ack flow (deadlock-free even over an unbuffered
+// in-memory pipe). While a session lives, the primary's log head is
+// clamped: TruncationBound (wired into the maintenance truncator via
+// Deps.ReplBound) never allows truncating past the slowest subscriber's
+// acked LSN, so a reconnecting replica can always resume — a subscriber
+// that disconnects releases its clamp and risks needing a full resync.
+type Shipper struct {
+	deps     PrimaryDeps
+	batchMax int
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	conns    map[io.Closer]struct{}
+	closed   bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	reg       *stats.Registry
+	batches   *stats.Counter
+	records   *stats.Counter
+	bytes     *stats.Counter
+	acks      *stats.Counter
+	snapshots *stats.Counter
+	refusals  *stats.Counter
+}
+
+// NewShipper builds a shipper over a primary's parts.
+func NewShipper(d PrimaryDeps) *Shipper {
+	s := &Shipper{
+		deps:     d,
+		batchMax: BatchMax,
+		sessions: make(map[*session]struct{}),
+		conns:    make(map[io.Closer]struct{}),
+		stop:     make(chan struct{}),
+	}
+	s.reg = stats.NewRegistry()
+	s.batches = s.reg.Counter("repl.ship_batches")
+	s.records = s.reg.Counter("repl.ship_records")
+	s.bytes = s.reg.Counter("repl.ship_bytes")
+	s.acks = s.reg.Counter("repl.ship_acks")
+	s.snapshots = s.reg.Counter("repl.ship_snapshots")
+	s.refusals = s.reg.Counter("repl.ship_refusals")
+	s.reg.Gauge("repl.subscribers", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.sessions))
+	})
+	s.reg.Gauge("repl.min_acked_lsn", func() int64 {
+		min, ok := s.MinAcked()
+		if !ok {
+			return -1
+		}
+		return int64(min)
+	})
+	return s
+}
+
+// Metrics exposes the shipper's counter registry.
+func (s *Shipper) Metrics() *stats.Registry { return s.reg }
+
+// MinAcked returns the lowest acked LSN across live sessions (ok=false when
+// there are none).
+func (s *Shipper) MinAcked() (page.LSN, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	min, ok := page.MaxLSN, false
+	for sess := range s.sessions {
+		ok = true
+		if a := page.LSN(sess.acked.Load()); a < min {
+			min = a
+		}
+	}
+	return min, ok
+}
+
+// TruncationBound is the maintenance hook: the highest log-head bound
+// truncation may use without stranding a live subscriber. With subscribers
+// it is min(acked)+1 — every record a subscriber has not applied stays
+// retained; with none it is MaxLSN (no clamp, a returning replica resyncs).
+func (s *Shipper) TruncationBound() page.LSN {
+	min, ok := s.MinAcked()
+	if !ok {
+		return page.MaxLSN
+	}
+	return min + 1
+}
+
+// Serve runs one subscriber session over conn until the stream breaks, the
+// subscriber disconnects, or the shipper closes. It blocks; run it in a
+// goroutine per subscriber.
+func (s *Shipper) Serve(conn io.ReadWriteCloser) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return errors.New("repl: shipper closed")
+	}
+	// Register before reading the hello: acked=0 clamps truncation for
+	// the whole handshake, so the resume point cannot be truncated out
+	// from under a subscriber that already told us it exists.
+	sess := &session{}
+	s.sessions[sess] = struct{}{}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.wg.Done()
+	}()
+
+	payload, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("repl: hello: %w", err)
+	}
+	if len(payload) == 0 || payload[0] != msgHello {
+		return fmt.Errorf("%w: expected hello", ErrBadFrame)
+	}
+	resume, err := decodeLSN(payload)
+	if err != nil {
+		return err
+	}
+	if resume == 0 {
+		resume = 1
+	}
+
+	from := resume
+	if resume <= s.deps.Log.Base() {
+		// The subscriber's gap is truncated: seed it with a snapshot, or
+		// refuse if the disk/TM cannot produce one.
+		base, start, pages, serr := s.snapshot()
+		if serr != nil {
+			s.refusals.Inc()
+			_ = writeFrame(conn, encodeErr(serr.Error()))
+			return serr
+		}
+		if err := writeFrame(conn, encodeSnap(base, pages)); err != nil {
+			return err
+		}
+		s.snapshots.Inc()
+		sess.acked.Store(uint64(base))
+		from = start
+	} else {
+		sess.acked.Store(uint64(resume - 1))
+	}
+
+	watch := s.deps.Log.WatchFlushed()
+	defer s.deps.Log.UnwatchFlushed(watch)
+	for {
+		recs, terr := s.deps.Log.TailFrom(from, s.batchMax)
+		if terr != nil {
+			// Head truncated past the session's resume point (possible
+			// when the clamp is not wired into maintenance).
+			s.refusals.Inc()
+			_ = writeFrame(conn, encodeErr(ErrResyncRequired.Error()))
+			return fmt.Errorf("%w: %v", ErrResyncRequired, terr)
+		}
+		if len(recs) == 0 {
+			select {
+			case <-watch:
+				continue
+			case <-s.stop:
+				return nil
+			case <-time.After(heartbeatEvery):
+				// Fall through and ship an empty batch: the ack read below
+				// is what detects a subscriber that died while idle.
+			}
+		}
+		payload := encodeRecords(s.deps.Log.FlushedLSN(), recs)
+		if err := writeFrame(conn, payload); err != nil {
+			return err
+		}
+		if len(recs) > 0 {
+			s.batches.Inc()
+			s.records.Add(int64(len(recs)))
+			s.bytes.Add(int64(len(payload)))
+		}
+		// Strict alternation: wait for the ack before the next batch.
+		ack, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		if len(ack) == 0 || ack[0] != msgAck {
+			return fmt.Errorf("%w: expected ack", ErrBadFrame)
+		}
+		applied, err := decodeLSN(ack)
+		if err != nil {
+			return err
+		}
+		sess.acked.Store(uint64(applied))
+		s.acks.Inc()
+		if len(recs) > 0 {
+			from = recs[len(recs)-1].LSN + 1
+		}
+	}
+}
+
+// snapshot produces a fuzzy full-resync seed: every allocated page's image
+// (latched S, so each image is action-consistent) plus the LSN bounds. The
+// stream restarts at start = min(flushed+1, oldest in-flight transaction's
+// first record) so the seeded replica can still undo the surviving ATT at
+// promotion; base is the flushed watermark the images are guaranteed to
+// cover (the pageLSN gate makes re-applying [start, base] idempotent). For
+// any image ahead of the durable frontier the log is forced first, so a
+// shipped image never holds effects the primary could lose in a crash.
+func (s *Shipper) snapshot() (base, start page.LSN, pages []snapPage, err error) {
+	lister, ok := s.deps.Disk.(pageLister)
+	if !ok || s.deps.TM == nil {
+		return 0, 0, nil, ErrResyncRequired
+	}
+	base = s.deps.Log.FlushedLSN()
+	start = base + 1
+	if m := s.deps.TM.MinActiveFirstLSN(); m != 0 && m < start {
+		start = m
+	}
+	if logBase := s.deps.Log.Base(); start <= logBase {
+		// The oldest in-flight transaction's records predate the retained
+		// head; no consistent stream start exists. (Unreachable when
+		// truncation respects MinActiveFirstLSN, as the maintenance
+		// truncator does.)
+		return 0, 0, nil, fmt.Errorf("%w: stream start %d behind log head %d", ErrResyncRequired, start, logBase+1)
+	}
+	for _, id := range lister.PageIDs() {
+		f, ferr := s.deps.Pool.Fetch(id)
+		if errors.Is(ferr, storage.ErrNoSuchPage) {
+			continue // freed while we walked; the stream's Free-Page covers it
+		}
+		if ferr != nil {
+			return 0, 0, nil, ferr
+		}
+		f.Latch.Acquire(latch.S)
+		img := make([]byte, page.Size)
+		copy(img, f.Page.Bytes())
+		lsn := f.Page.LSN()
+		f.Latch.Release(latch.S)
+		s.deps.Pool.Unpin(f, false, 0)
+		if lsn > base {
+			// WAL rule for shipping: force the log through everything the
+			// image contains before it leaves the primary.
+			if ferr := s.deps.Log.FlushTo(lsn); ferr != nil {
+				return 0, 0, nil, ferr
+			}
+		}
+		pages = append(pages, snapPage{id: id, img: img})
+	}
+	return base, start, pages, nil
+}
+
+// ServeListener accepts subscribers from ln until Close. Each connection
+// gets its own Serve goroutine.
+func (s *Shipper) ServeListener(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("repl: shipper closed")
+	}
+	s.conns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return nil
+			default:
+				return err
+			}
+		}
+		go s.Serve(conn)
+	}
+}
+
+// Close stops every session (closing their transports unblocks parked
+// reads/writes) and waits for them to drain.
+func (s *Shipper) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

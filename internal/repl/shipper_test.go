@@ -1,0 +1,135 @@
+package repl
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShipperClampFollowsAcks drives one raw-protocol subscriber and checks
+// the truncation clamp at every stage: registration (acked 0 clamps to the
+// log head), partial ack, and release on disconnect.
+func TestShipperClampFollowsAcks(t *testing.T) {
+	log := wal.NewMemLog()
+	for i := 0; i < 30; i++ {
+		log.Append(&wal.Record{Type: wal.RecBegin, Txn: 1})
+	}
+	if err := log.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewShipper(PrimaryDeps{Log: log})
+	defer s.Close()
+	if got := s.TruncationBound(); got != page.MaxLSN {
+		t.Fatalf("bound with no subscribers = %d, want MaxLSN", got)
+	}
+
+	c, srv := net.Pipe()
+	go s.Serve(srv)
+	if err := writeFrame(c, encodeHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed, recs, err := decodeRecords(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushed != 30 || len(recs) != 30 || recs[0].LSN != 1 {
+		t.Fatalf("batch: flushed %d, %d records from %d", flushed, len(recs), recs[0].LSN)
+	}
+	// Ack only through 10: the clamp must hold the head at 11.
+	if err := writeFrame(c, encodeAck(10)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "clamp at 11", func() bool { return s.TruncationBound() == 11 })
+
+	// Disconnect releases the clamp.
+	c.Close()
+	waitFor(t, "clamp release", func() bool { return s.TruncationBound() == page.MaxLSN })
+}
+
+// TestShipperResumeMidLog checks a reconnect-style hello: the stream starts
+// exactly at the requested LSN.
+func TestShipperResumeMidLog(t *testing.T) {
+	log := wal.NewMemLog()
+	for i := 0; i < 20; i++ {
+		log.Append(&wal.Record{Type: wal.RecBegin, Txn: 1})
+	}
+	if err := log.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewShipper(PrimaryDeps{Log: log})
+	defer s.Close()
+	c, srv := net.Pipe()
+	go s.Serve(srv)
+	if err := writeFrame(c, encodeHello(11)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := decodeRecords(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 || recs[0].LSN != 11 {
+		t.Fatalf("resume batch: %d records from %d, want 10 from 11", len(recs), recs[0].LSN)
+	}
+	c.Close()
+}
+
+// TestShipperRefusesTruncatedResumeWithoutSnapshot: when the resume point
+// predates the retained head and no snapshot can be produced (no disk
+// lister, no TM), the subscriber gets a terminal msgErr.
+func TestShipperRefusesTruncatedResumeWithoutSnapshot(t *testing.T) {
+	log := wal.NewMemLog()
+	for i := 0; i < 20; i++ {
+		log.Append(&wal.Record{Type: wal.RecBegin, Txn: 1})
+	}
+	if err := log.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.DiscardBefore(11); err != nil {
+		t.Fatal(err)
+	}
+	s := NewShipper(PrimaryDeps{Log: log})
+	defer s.Close()
+	c, srv := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(srv) }()
+	if err := writeFrame(c, encodeHello(5)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != msgErr {
+		t.Fatalf("message type %d, want msgErr", payload[0])
+	}
+	if err := <-errCh; !errors.Is(err, ErrResyncRequired) {
+		t.Fatalf("Serve returned %v, want ErrResyncRequired", err)
+	}
+	if got := s.Metrics().Value("repl.ship_refusals"); got != 1 {
+		t.Fatalf("ship_refusals = %d, want 1", got)
+	}
+	c.Close()
+}

@@ -82,10 +82,11 @@ type Manager struct {
 	locks *lock.Manager
 	preds *predicate.Manager
 
-	mu      sync.Mutex
-	active  map[page.TxnID]*Txn
-	nextID  atomic.Uint64
-	undoers map[wal.RecType]UndoFunc
+	mu       sync.Mutex
+	active   map[page.TxnID]*Txn
+	nextID   atomic.Uint64
+	roNextID atomic.Uint64
+	undoers  map[wal.RecType]UndoFunc
 
 	reg          *stats.Registry
 	commits      *stats.Counter
@@ -151,6 +152,44 @@ func (m *Manager) Predicates() *predicate.Manager { return m.preds }
 func (m *Manager) Begin() (*Txn, error) {
 	id := page.TxnID(m.nextID.Add(1))
 	return m.beginWithID(id)
+}
+
+// ReadOnlyIDBase offsets read-only transaction ids into their own space,
+// disjoint from logged transactions: a replica serving reads off shipped
+// history must never collide with an id the primary's log attributes to a
+// writer.
+const ReadOnlyIDBase = page.TxnID(1) << 62
+
+// BeginReadOnly starts a transaction that never logs: no Begin record, no
+// Commit/End, ids drawn from ReadOnlyIDBase up. It takes locks and attaches
+// predicates like any transaction (isolation against local writers), but
+// calling Log on it panics — it is the read service of a replica, whose log
+// only the replication stream may append to. Read-only transactions are
+// excluded from checkpoints (nothing to recover) and from
+// MinActiveFirstLSN (firstLSN stays 0).
+func (m *Manager) BeginReadOnly() (*Txn, error) {
+	id := ReadOnlyIDBase + page.TxnID(m.roNextID.Add(1))
+	tx := &Txn{id: id, mgr: m, state: Active, readOnly: true}
+	if err := m.locks.Lock(id, lock.ForTxn(id), lock.X); err != nil {
+		return nil, fmt.Errorf("txn: self lock: %w", err)
+	}
+	m.mu.Lock()
+	m.active[id] = tx
+	m.mu.Unlock()
+	return tx, nil
+}
+
+// AdvanceTxnID raises the id counter to at least id, so transactions begun
+// from here on get ids strictly greater. Promotion calls it with the
+// highest id observed in the shipped history; ordinary restart gets the
+// same guarantee through AdoptLoser.
+func (m *Manager) AdvanceTxnID(id page.TxnID) {
+	for {
+		cur := m.nextID.Load()
+		if cur >= uint64(id) || m.nextID.CompareAndSwap(cur, uint64(id)) {
+			return
+		}
+	}
 }
 
 // beginWithID is shared with recovery, which must re-instantiate loser
@@ -244,6 +283,9 @@ func (m *Manager) Checkpoint(dpt func() map[page.PageID]page.LSN) (page.LSN, err
 	// be undone as a loser.
 	r.PrevLSN = m.log.LastLSN()
 	for _, tx := range m.ActiveTxns() {
+		if tx.readOnly {
+			continue // nothing logged, nothing to recover
+		}
 		r.ATT = append(r.ATT, wal.TxnState{ID: tx.ID(), LastLSN: tx.LastLSN()})
 	}
 	for id, rec := range dpt() {
@@ -271,6 +313,8 @@ func (m *Manager) finish(tx *Txn) {
 type Txn struct {
 	id  page.TxnID
 	mgr *Manager
+
+	readOnly bool // never logs; see Manager.BeginReadOnly
 
 	mu         sync.Mutex
 	state      State
@@ -340,6 +384,9 @@ func (tx *Txn) Value(key any) any {
 // Log appends r to the log as part of this transaction's backchain and
 // returns its LSN.
 func (tx *Txn) Log(r *wal.Record) page.LSN {
+	if tx.readOnly {
+		panic(fmt.Sprintf("txn %d: Log on a read-only transaction", tx.id))
+	}
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	r.Txn = tx.id
@@ -545,6 +592,14 @@ func (tx *Txn) CommitCtx(ctx context.Context) error {
 	tx.state = Committed
 	tx.mu.Unlock()
 
+	if tx.readOnly {
+		// Nothing logged, nothing to force: release and retire.
+		tx.release()
+		tx.mgr.finish(tx)
+		tx.mgr.commits.Inc()
+		return nil
+	}
+
 	// The commit force point: the commit record and its force request are
 	// one publish (wal.AppendCommit), parking this committer on the WAL's
 	// group-commit queue so concurrent committers share fsyncs instead of
@@ -609,6 +664,16 @@ func (tx *Txn) Abort() error {
 		return ErrNotActive
 	}
 	tx.mu.Unlock()
+
+	if tx.readOnly {
+		tx.mu.Lock()
+		tx.state = Aborted
+		tx.mu.Unlock()
+		tx.release()
+		tx.mgr.finish(tx)
+		tx.mgr.aborts.Inc()
+		return nil
+	}
 
 	tx.Log(&wal.Record{Type: wal.RecAbort})
 	if err := tx.undoTo(0); err != nil {

@@ -110,6 +110,12 @@ type Log struct {
 	stop      chan struct{}
 	flusherWG sync.WaitGroup
 
+	// Flushed-watermark watchers (log shipping): every advance of the
+	// flushed watermark pokes each registered channel (non-blocking; the
+	// channels are buffered depth 1, so a slow watcher coalesces pokes).
+	watchMu  sync.Mutex
+	watchers map[chan struct{}]struct{}
+
 	reg          *stats.Registry
 	appends      *stats.Counter // LSN reservations
 	syncs        *stats.Counter // physical flushes (group commit metric)
@@ -600,6 +606,7 @@ func (l *Log) FlushTo(lsn page.LSN) error {
 			l.syncs.Inc()
 		}
 		l.mu.Unlock()
+		l.notifyFlushed()
 		return nil
 	}
 	l.mu.Lock()
@@ -825,6 +832,7 @@ func (l *Log) flushBatch() (page.LSN, error) {
 	l.fsyncNanos.Add(time.Since(start).Nanoseconds())
 	l.goodOffset += int64(len(buf))
 	l.flushed.Store(uint64(covers))
+	l.notifyFlushed()
 	l.syncs.Inc()
 	l.batchRecords.Add(count)
 	l.batchBytes.Add(int64(len(buf)))
@@ -860,7 +868,7 @@ func (l *Log) failedErr() error {
 }
 
 // FlushAll forces the entire log durable.
-func (l *Log) FlushAll() error { return l.FlushTo(page.LSN(1 << 62)) }
+func (l *Log) FlushAll() error { return l.FlushTo(page.MaxLSN) }
 
 // Get returns the record with the given LSN, waiting out the short window
 // in which a concurrent appender has reserved but not yet staged it.

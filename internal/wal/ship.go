@@ -1,0 +1,157 @@
+// Log shipping support: the tail read path a replication shipper uses to
+// stream the durable log prefix, flushed-watermark watchers that wake the
+// shipper without polling, and the replica-side log that reconstructs the
+// primary's record sequence verbatim (AppendShipped).
+//
+// The contract throughout is the durability frontier: FlushedLSN is the
+// highest LSN the primary may ever ship. Records above it exist in memory
+// but could still be lost to a crash; a replica that applied them would be
+// ahead of every state the primary can restart into, and failover would
+// diverge. TailFrom therefore never returns past the flushed watermark.
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// ErrTailTruncated is returned by TailFrom when the requested start LSN has
+// been discarded by head truncation: the subscriber is too far behind the
+// retained log and must full-resync (or be rebuilt).
+var ErrTailTruncated = errors.New("wal: tail start truncated from log head")
+
+// TailFrom returns up to max sealed, durable records starting at LSN from,
+// in LSN order. It is the shipper's read path: the upper bound is
+// FlushedLSN (the durability frontier — records past it are never shipped),
+// and the lower bound is the retained head. An empty result means the
+// caller has fully caught up to the flushed watermark; ErrTailTruncated
+// means from predates Base()+1 and the gap is unrecoverable from this log.
+//
+// The returned records are the log's own sealed records: immutable once
+// published, safe to read and re-encode without copying.
+func (l *Log) TailFrom(from page.LSN, max int) ([]*Record, error) {
+	if from == 0 {
+		from = 1
+	}
+	hi := page.LSN(l.flushed.Load())
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from <= l.base {
+		return nil, fmt.Errorf("%w: from %d, head %d", ErrTailTruncated, from, l.base+1)
+	}
+	if from > hi {
+		return nil, nil
+	}
+	lo := int(from - l.base - 1)
+	n := int(hi-l.base) - lo
+	if n <= 0 {
+		return nil, nil
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]*Record, n)
+	copy(out, l.records[lo:lo+n])
+	return out, nil
+}
+
+// WatchFlushed registers a wakeup channel: every advance of the flushed
+// watermark sends one (coalescing, non-blocking) token. The caller owns the
+// channel until UnwatchFlushed; a token means "re-check FlushedLSN", not
+// "exactly one new record".
+func (l *Log) WatchFlushed() chan struct{} {
+	ch := make(chan struct{}, 1)
+	l.watchMu.Lock()
+	if l.watchers == nil {
+		l.watchers = make(map[chan struct{}]struct{})
+	}
+	l.watchers[ch] = struct{}{}
+	l.watchMu.Unlock()
+	return ch
+}
+
+// UnwatchFlushed removes a channel registered by WatchFlushed.
+func (l *Log) UnwatchFlushed(ch chan struct{}) {
+	l.watchMu.Lock()
+	delete(l.watchers, ch)
+	l.watchMu.Unlock()
+}
+
+// notifyFlushed pokes every watcher after a flushed-watermark advance.
+func (l *Log) notifyFlushed() {
+	l.watchMu.Lock()
+	for ch := range l.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	l.watchMu.Unlock()
+}
+
+// NewReplicaLog builds an empty in-memory log whose head starts after base:
+// the next shipped record must carry LSN base+1. A fresh replica uses base
+// 0 (the full stream from LSN 1); a snapshot-seeded replica uses the
+// snapshot's base LSN.
+func NewReplicaLog(base page.LSN) *Log {
+	l := NewMemLog()
+	l.base = base
+	l.setWatermarks(base)
+	return l
+}
+
+// RebaseShipped re-bases an empty replica log to a snapshot's base LSN:
+// the next shipped record must carry base+1. Only an untouched in-memory
+// log may be re-based — a log that already holds records has a history a
+// new base would orphan.
+func (l *Log) RebaseShipped(base page.LSN) error {
+	if l.file != nil {
+		return errors.New("wal: RebaseShipped requires an in-memory log")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.records) != 0 || l.next.Load() != uint64(l.base) {
+		return fmt.Errorf("wal: RebaseShipped on non-empty log (base %d, last %d)", l.base, l.next.Load())
+	}
+	l.base = base
+	l.next.Store(uint64(base))
+	l.sealed.Store(uint64(base))
+	l.flushed.Store(uint64(base))
+	return nil
+}
+
+// AppendShipped appends a record received from a primary, preserving the
+// primary's LSN. It is the replica-side dual of Append: no reservation (the
+// primary already assigned the LSN), no staging ring, and the record is
+// immediately sealed and "flushed" (it was durable on the primary before it
+// was shipped — that is the TailFrom contract). Records must arrive in
+// exactly contiguous LSN order; a gap or replay is a protocol error the
+// caller turns into a resync.
+//
+// AppendShipped must not race Append: a replica log is append-only from the
+// stream until Promote drains the stream, after which normal Append resumes
+// from the shipped prefix.
+func (l *Log) AppendShipped(r *Record) error {
+	if l.file != nil {
+		return errors.New("wal: AppendShipped requires an in-memory log")
+	}
+	l.mu.Lock()
+	want := l.base + page.LSN(len(l.records)) + 1
+	if r.LSN != want {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: shipped record LSN %d, want %d", r.LSN, want)
+	}
+	l.records = append(l.records, r)
+	if r.Type == RecCheckpoint {
+		l.masterCk = r.LSN
+	}
+	l.next.Store(uint64(r.LSN))
+	l.sealed.Store(uint64(r.LSN))
+	l.flushed.Store(uint64(r.LSN))
+	l.mu.Unlock()
+	l.appended.Add(recSizeEstimate(r))
+	l.appends.Inc()
+	return nil
+}

@@ -1,0 +1,209 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/page"
+)
+
+func TestTailFromStopsAtDurabilityFrontier(t *testing.T) {
+	l := NewMemLog()
+	for i := 0; i < 20; i++ {
+		l.Append(&Record{Type: RecBegin, Txn: 1})
+	}
+	if err := l.FlushTo(12); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.TailFrom(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 12 {
+		t.Fatalf("TailFrom returned %d records, want 12 (the flushed prefix)", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != page.LSN(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+	// Past the frontier: empty, not the unflushed tail.
+	recs, err = l.TailFrom(13, 0)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("TailFrom past flushed = %d records, %v; want 0, nil", len(recs), err)
+	}
+	if err := l.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = l.TailFrom(13, 4) // max caps the batch
+	if len(recs) != 4 || recs[0].LSN != 13 {
+		t.Fatalf("TailFrom(13, max 4) = %d records starting %d", len(recs), recs[0].LSN)
+	}
+}
+
+func TestTailFromTruncatedHead(t *testing.T) {
+	l := NewMemLog()
+	for i := 0; i < 20; i++ {
+		l.Append(&Record{Type: RecBegin, Txn: 1})
+	}
+	if err := l.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.DiscardBefore(11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.TailFrom(5, 0); !errors.Is(err, ErrTailTruncated) {
+		t.Fatalf("TailFrom into the discarded prefix: %v, want ErrTailTruncated", err)
+	}
+	recs, err := l.TailFrom(11, 0)
+	if err != nil || len(recs) != 10 {
+		t.Fatalf("TailFrom at the retained head = %d records, %v", len(recs), err)
+	}
+}
+
+func TestAppendShippedContiguity(t *testing.T) {
+	l := NewReplicaLog(0)
+	for i := 1; i <= 3; i++ {
+		if err := l.AppendShipped(&Record{LSN: page.LSN(i), Type: RecBegin, Txn: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AppendShipped(&Record{LSN: 5, Type: RecBegin, Txn: 1}); err == nil {
+		t.Fatal("gap (LSN 5 after 3) accepted")
+	}
+	if err := l.AppendShipped(&Record{LSN: 3, Type: RecBegin, Txn: 1}); err == nil {
+		t.Fatal("replay (LSN 3 again) accepted")
+	}
+	if err := l.AppendShipped(&Record{LSN: 4, Type: RecCheckpoint}); err != nil {
+		t.Fatal(err)
+	}
+	// All three watermarks track the shipped tail; the checkpoint record
+	// registers as the master checkpoint like a locally-logged one would.
+	if got := l.LastLSN(); got != 4 {
+		t.Fatalf("LastLSN = %d, want 4", got)
+	}
+	if got := l.FlushedLSN(); got != 4 {
+		t.Fatalf("FlushedLSN = %d, want 4 (shipped records are durable upstream)", got)
+	}
+	if got := l.MasterCheckpoint(); got != 4 {
+		t.Fatalf("MasterCheckpoint = %d, want 4", got)
+	}
+}
+
+func TestRebaseShipped(t *testing.T) {
+	l := NewReplicaLog(0)
+	if err := l.RebaseShipped(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendShipped(&Record{LSN: 100, Type: RecBegin, Txn: 1}); err == nil {
+		t.Fatal("record at the base LSN accepted; the base itself is pre-history")
+	}
+	if err := l.AppendShipped(&Record{LSN: 101, Type: RecBegin, Txn: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RebaseShipped(200); err == nil {
+		t.Fatal("rebase of a non-empty log accepted")
+	}
+}
+
+func TestWatchFlushedWakes(t *testing.T) {
+	l := NewMemLog()
+	ch := l.WatchFlushed()
+	defer l.UnwatchFlushed(ch)
+	l.Append(&Record{Type: RecBegin, Txn: 1})
+	go l.FlushAll()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no wakeup after a flushed-watermark advance")
+	}
+}
+
+// TestSnapshotScanRacesAppenders runs SnapshotScan concurrently with
+// appenders crossing the seal boundary (run under -race): every scan must
+// observe a contiguous, ascending LSN prefix — no torn index, no gap where
+// a record was visible before its predecessor sealed.
+func TestSnapshotScanRacesAppenders(t *testing.T) {
+	l := NewMemLog()
+	const (
+		appenders = 4
+		perApp    = 400
+	)
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perApp; i++ {
+				l.Append(&Record{Type: RecAddLeafEntry, Txn: page.TxnID(id + 1), Pg: page.PageID(i%7 + 1)})
+			}
+		}(a)
+	}
+	go func() {
+		wg.Wait()
+		done.Store(true)
+	}()
+	for !done.Load() {
+		prev := page.LSN(0)
+		l.SnapshotScan(1, func(r *Record) bool {
+			if prev != 0 && r.LSN != prev+1 {
+				t.Errorf("scan gap: %d follows %d", r.LSN, prev)
+				return false
+			}
+			prev = r.LSN
+			return true
+		})
+	}
+	if total := l.LastLSN(); total != appenders*perApp {
+		t.Fatalf("LastLSN = %d, want %d", total, appenders*perApp)
+	}
+	// The final scan sees everything.
+	n := 0
+	l.SnapshotScan(1, func(*Record) bool { n++; return true })
+	if n != appenders*perApp {
+		t.Fatalf("final scan visited %d records, want %d", n, appenders*perApp)
+	}
+}
+
+// TestTailFromRacesFlush hammers TailFrom while appenders and FlushTo race:
+// no returned record may ever carry an LSN above the frontier TailFrom was
+// bounded by, and batches must stay contiguous.
+func TestTailFromRacesFlush(t *testing.T) {
+	l := NewMemLog()
+	const total = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			lsn := l.Append(&Record{Type: RecBegin, Txn: 1})
+			if i%17 == 0 {
+				if err := l.FlushTo(lsn); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		if err := l.FlushAll(); err != nil {
+			t.Error(err)
+		}
+	}()
+	from := page.LSN(1)
+	for from <= total {
+		recs, err := l.TailFrom(from, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if r.LSN != from {
+				t.Fatalf("batch gap: got %d, want %d", r.LSN, from)
+			}
+			from++
+		}
+	}
+	wg.Wait()
+}
