@@ -598,7 +598,11 @@ func (o *op) splitNode(f *buffer.Frame, stack []pathEntry) (*buffer.Frame, error
 		OldRight: f.Page.Rightlink(),
 		Moved:    moved,
 	}
-	rec.LSN = o.tx.Log(rec)
+	// Log sets rec.LSN itself (inside Append, before the record is
+	// published); assigning the returned LSN back here would be a racy
+	// duplicate store — a replication shipper may already be encoding the
+	// sealed record from the log tail.
+	o.tx.Log(rec)
 	applySplit(&f.Page, &newF.Page, rec)
 	// Both page images changed; mark them dirty HERE, not at unpin time:
 	// callers unpin the side they did not insert into with dirty=false,

@@ -48,8 +48,15 @@ const (
 	// head at min(acked)+1 across subscribers.
 	msgAck = byte(3)
 	// msgSnap seeds a fresh replica whose resume point was truncated from
-	// the primary's log head: body is the snapshot base LSN (stream
-	// resumes at base+1) and full page images.
+	// the primary's log head: body is the snapshot base LSN (the flushed
+	// watermark the images are guaranteed to cover), the stream start LSN
+	// (min(base+1, oldest in-flight transaction's first record) — the
+	// replica rebases its log to start-1 so the in-flight prefix
+	// [start, base] ships into its log, ATT, and dirty-insert filter; the
+	// pageLSN gate makes its redo over the images idempotent), the max
+	// pageLSN across the shipped images (the images are fuzzy — reads are
+	// not log-prefix-consistent until apply reaches this bound), and full
+	// page images.
 	msgSnap = byte(4)
 	// msgErr is a terminal refusal (primary → replica), e.g. resync
 	// required but the disk cannot produce a snapshot.
@@ -182,11 +189,13 @@ type snapPage struct {
 }
 
 // encodeSnap builds a msgSnap payload.
-func encodeSnap(base page.LSN, pages []snapPage) []byte {
-	b := make([]byte, 13, 13+len(pages)*(4+page.Size))
+func encodeSnap(base, start, imgMax page.LSN, pages []snapPage) []byte {
+	b := make([]byte, 29, 29+len(pages)*(4+page.Size))
 	b[0] = msgSnap
 	binary.BigEndian.PutUint64(b[1:9], uint64(base))
-	binary.BigEndian.PutUint32(b[9:13], uint32(len(pages)))
+	binary.BigEndian.PutUint64(b[9:17], uint64(start))
+	binary.BigEndian.PutUint64(b[17:25], uint64(imgMax))
+	binary.BigEndian.PutUint32(b[25:29], uint32(len(pages)))
 	for _, p := range pages {
 		var id [4]byte
 		binary.BigEndian.PutUint32(id[:], uint32(p.id))
@@ -197,15 +206,20 @@ func encodeSnap(base page.LSN, pages []snapPage) []byte {
 }
 
 // decodeSnap parses a msgSnap payload.
-func decodeSnap(payload []byte) (base page.LSN, pages []snapPage, err error) {
-	if len(payload) < 13 {
-		return 0, nil, fmt.Errorf("%w: snap body of %d bytes", ErrBadFrame, len(payload))
+func decodeSnap(payload []byte) (base, start, imgMax page.LSN, pages []snapPage, err error) {
+	if len(payload) < 29 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: snap body of %d bytes", ErrBadFrame, len(payload))
 	}
 	base = page.LSN(binary.BigEndian.Uint64(payload[1:9]))
-	count := binary.BigEndian.Uint32(payload[9:13])
-	b := payload[13:]
+	start = page.LSN(binary.BigEndian.Uint64(payload[9:17]))
+	imgMax = page.LSN(binary.BigEndian.Uint64(payload[17:25]))
+	if start == 0 || start > base+1 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: snap start %d, base %d", ErrBadFrame, start, base)
+	}
+	count := binary.BigEndian.Uint32(payload[25:29])
+	b := payload[29:]
 	if len(b) != int(count)*(4+page.Size) {
-		return 0, nil, fmt.Errorf("%w: snap body size", ErrBadFrame)
+		return 0, 0, 0, nil, fmt.Errorf("%w: snap body size", ErrBadFrame)
 	}
 	pages = make([]snapPage, count)
 	for i := range pages {
@@ -213,7 +227,7 @@ func decodeSnap(payload []byte) (base page.LSN, pages []snapPage, err error) {
 		pages[i].img = b[4 : 4+page.Size : 4+page.Size]
 		b = b[4+page.Size:]
 	}
-	return base, pages, nil
+	return base, start, imgMax, pages, nil
 }
 
 // encodeErr builds a msgErr payload.

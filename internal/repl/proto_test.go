@@ -65,15 +65,25 @@ func TestRecordsRoundtrip(t *testing.T) {
 func TestSnapRoundtrip(t *testing.T) {
 	img1 := bytes.Repeat([]byte{0xAB}, page.Size)
 	img2 := bytes.Repeat([]byte{0x17}, page.Size)
-	payload := encodeSnap(123, []snapPage{{id: 1, img: img1}, {id: 9, img: img2}})
-	base, pages, err := decodeSnap(payload)
+	payload := encodeSnap(123, 100, 127, []snapPage{{id: 1, img: img1}, {id: 9, img: img2}})
+	base, start, imgMax, pages, err := decodeSnap(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if base != 123 || len(pages) != 2 {
-		t.Fatalf("base %d, %d pages", base, len(pages))
+	if base != 123 || start != 100 || imgMax != 127 || len(pages) != 2 {
+		t.Fatalf("base %d, start %d, imgMax %d, %d pages", base, start, imgMax, len(pages))
 	}
 	if pages[0].id != 1 || !bytes.Equal(pages[0].img, img1) || pages[1].id != 9 || !bytes.Equal(pages[1].img, img2) {
 		t.Fatal("page images did not roundtrip")
+	}
+}
+
+func TestSnapRejectsBadStart(t *testing.T) {
+	// start must be in [1, base+1]: 0 and base+2 are both protocol errors.
+	for _, start := range []page.LSN{0, 125} {
+		payload := encodeSnap(123, start, 123, nil)
+		if _, _, _, _, err := decodeSnap(payload); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("start %d decoded: %v, want ErrBadFrame", start, err)
+		}
 	}
 }

@@ -76,6 +76,12 @@ type Receiver struct {
 
 	primaryFlushed atomic.Uint64
 
+	// readyLSN is the read-service gate for a snapshot-seeded replica: the
+	// seed's page images are fuzzy (each copied at a different moment), so
+	// until apply reaches the newest image pageLSN the pool is not at any
+	// single log-prefix state. Zero for a stream-from-scratch replica.
+	readyLSN atomic.Uint64
+
 	reg        *stats.Registry
 	batches    *stats.Counter
 	records    *stats.Counter
@@ -128,9 +134,43 @@ func (r *Receiver) Lag() page.LSN {
 }
 
 // RLock/RUnlock bracket a read against the apply gate: between them the
-// replica's pool holds a frozen log-prefix state.
-func (r *Receiver) RLock()   { r.gate.RLock() }
+// replica's pool holds a frozen log-prefix state. After a snapshot load
+// RLock additionally blocks until apply has caught up past the newest
+// shipped image pageLSN — the seed images are fuzzy, and serving them
+// before that point would expose a state no crash-restart of the primary
+// could produce. The wait is short (the shipper forced the log through
+// every image before shipping, so the records are already in flight) and
+// is abandoned if the stream stops or dies first: a dead snapshot-seeded
+// replica serves its best available state and reports the error via Err.
+func (r *Receiver) RLock() {
+	for {
+		r.gate.RLock()
+		ready := page.LSN(r.readyLSN.Load())
+		if r.ap.AppliedLSN() >= ready || r.streamDown() {
+			return
+		}
+		r.gate.RUnlock()
+		r.applyMu.Lock()
+		ch := r.applyCh
+		r.applyMu.Unlock()
+		if r.ap.AppliedLSN() >= page.LSN(r.readyLSN.Load()) || r.streamDown() {
+			continue
+		}
+		select {
+		case <-ch:
+		case <-r.stop:
+		}
+	}
+}
 func (r *Receiver) RUnlock() { r.gate.RUnlock() }
+
+// streamDown reports whether the stream can make no further progress
+// (stopped or dead with a terminal error).
+func (r *Receiver) streamDown() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stopped || r.err != nil
+}
 
 // Visible reports whether a data RID is committed as of the shipped
 // history (the read path's dirty-insert filter). Call under RLock.
@@ -189,6 +229,7 @@ func (r *Receiver) run() {
 		}
 		r.conn = conn
 		r.mu.Unlock()
+		progressBefore := r.records.Load() + r.snapLoads.Load()
 		err = r.stream(conn)
 		r.mu.Lock()
 		r.conn = nil
@@ -203,7 +244,11 @@ func (r *Receiver) run() {
 			r.advanceApplied()
 			return
 		}
-		if err == nil {
+		// Reset backoff only when the connection made progress (records
+		// applied or a snapshot loaded): stream() also returns nil for
+		// transport-level failures, and a primary that accepts dials but
+		// immediately breaks the stream must not induce a busy redial loop.
+		if r.records.Load()+r.snapLoads.Load() > progressBefore {
 			backoff = time.Millisecond
 		}
 	}
@@ -379,8 +424,17 @@ func (r *Receiver) WaitApplied(ctx context.Context, lsn page.LSN) error {
 
 // loadSnapshot installs a full-resync seed. Only a fresh replica (empty
 // log, nothing applied) may accept one; anything else must be rebuilt.
+//
+// The log is rebased to start-1, not base: the stream resumes at start =
+// min(base+1, oldest in-flight transaction's first record), and the
+// shipped [start, base] prefix must land in the replica log so the
+// applier's ATT and the dirty-insert filter see the in-flight
+// transactions a later Promote has to undo. Redo of that prefix over the
+// seed images is a no-op under the pageLSN gate. Reads stay gated (RLock)
+// until apply reaches imgMax, the newest image pageLSN — before that the
+// fuzzy images are not a single log-prefix state.
 func (r *Receiver) loadSnapshot(payload []byte) error {
-	base, pages, err := decodeSnap(payload)
+	base, start, imgMax, pages, err := decodeSnap(payload)
 	if err != nil {
 		return err
 	}
@@ -397,10 +451,12 @@ func (r *Receiver) loadSnapshot(payload []byte) error {
 			return err
 		}
 	}
-	if err := r.deps.Log.RebaseShipped(base); err != nil {
+	if err := r.deps.Log.RebaseShipped(start - 1); err != nil {
 		return err
 	}
-	r.ap.SetApplied(base)
+	r.ap.SetApplied(start - 1)
+	r.readyLSN.Store(uint64(imgMax))
+	r.primaryFlushed.Store(uint64(base))
 	r.snapLoads.Inc()
 	r.advanceApplied()
 	return nil
@@ -437,6 +493,13 @@ func (r *Receiver) Promote(register func() error) (int, error) {
 	defer r.gate.Unlock()
 	if r.promoted.Swap(true) {
 		return 0, ErrPromoted
+	}
+	if ready := page.LSN(r.readyLSN.Load()); r.ap.AppliedLSN() < ready {
+		// A snapshot-seeded replica whose apply never caught up past the
+		// newest image pageLSN holds a fuzzy state no log prefix describes;
+		// undo over it would be unsound. The replica must be rebuilt.
+		return 0, fmt.Errorf("%w: promote at applied %d before snapshot readiness %d",
+			ErrResyncRequired, r.ap.AppliedLSN(), ready)
 	}
 	// Fresh transactions must never reuse an id the shipped history
 	// already attributed to someone else (their locks and backchains

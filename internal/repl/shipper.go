@@ -46,6 +46,15 @@ const BatchMax = 512
 // carries the current flushed watermark for the replica's lag gauge.
 const heartbeatEvery = 500 * time.Millisecond
 
+// defaultAckTimeout bounds how long a session waits for a subscriber frame
+// (the hello, and the ack after every batch or heartbeat). A subscriber that
+// vanishes without breaking the transport — network partition, hung process
+// — would otherwise park the session in a read forever while its ack pins
+// TruncationBound, so the primary's log could never truncate. Generous
+// relative to apply time for a full batch; a healthy-but-slow replica that
+// trips it just reconnects and resumes.
+const defaultAckTimeout = 10 * time.Second
+
 // session is one live subscriber, tracked for the truncation clamp.
 type session struct {
 	acked atomic.Uint64 // highest LSN the subscriber has applied
@@ -60,8 +69,9 @@ type session struct {
 // acked LSN, so a reconnecting replica can always resume — a subscriber
 // that disconnects releases its clamp and risks needing a full resync.
 type Shipper struct {
-	deps     PrimaryDeps
-	batchMax int
+	deps       PrimaryDeps
+	batchMax   int
+	ackTimeout time.Duration
 
 	mu       sync.Mutex
 	sessions map[*session]struct{}
@@ -82,11 +92,12 @@ type Shipper struct {
 // NewShipper builds a shipper over a primary's parts.
 func NewShipper(d PrimaryDeps) *Shipper {
 	s := &Shipper{
-		deps:     d,
-		batchMax: BatchMax,
-		sessions: make(map[*session]struct{}),
-		conns:    make(map[io.Closer]struct{}),
-		stop:     make(chan struct{}),
+		deps:       d,
+		batchMax:   BatchMax,
+		ackTimeout: defaultAckTimeout,
+		sessions:   make(map[*session]struct{}),
+		conns:      make(map[io.Closer]struct{}),
+		stop:       make(chan struct{}),
 	}
 	s.reg = stats.NewRegistry()
 	s.batches = s.reg.Counter("repl.ship_batches")
@@ -167,7 +178,7 @@ func (s *Shipper) Serve(conn io.ReadWriteCloser) error {
 		s.wg.Done()
 	}()
 
-	payload, err := readFrame(conn)
+	payload, err := s.readFrameTimeout(conn)
 	if err != nil {
 		return fmt.Errorf("repl: hello: %w", err)
 	}
@@ -186,17 +197,21 @@ func (s *Shipper) Serve(conn io.ReadWriteCloser) error {
 	if resume <= s.deps.Log.Base() {
 		// The subscriber's gap is truncated: seed it with a snapshot, or
 		// refuse if the disk/TM cannot produce one.
-		base, start, pages, serr := s.snapshot()
+		base, start, imgMax, pages, serr := s.snapshot()
 		if serr != nil {
 			s.refusals.Inc()
 			_ = writeFrame(conn, encodeErr(serr.Error()))
 			return serr
 		}
-		if err := writeFrame(conn, encodeSnap(base, pages)); err != nil {
+		if err := writeFrame(conn, encodeSnap(base, start, imgMax, pages)); err != nil {
 			return err
 		}
 		s.snapshots.Inc()
-		sess.acked.Store(uint64(base))
+		// The replica rebases its log to start-1 and re-applies [start,
+		// base] from the stream (that prefix carries the in-flight
+		// transactions a later Promote must undo), so the clamp must retain
+		// it: ack start-1, not base.
+		sess.acked.Store(uint64(start - 1))
 		from = start
 	} else {
 		sess.acked.Store(uint64(resume - 1))
@@ -233,8 +248,11 @@ func (s *Shipper) Serve(conn io.ReadWriteCloser) error {
 			s.records.Add(int64(len(recs)))
 			s.bytes.Add(int64(len(payload)))
 		}
-		// Strict alternation: wait for the ack before the next batch.
-		ack, err := readFrame(conn)
+		// Strict alternation: wait for the ack before the next batch. The
+		// wait is bounded — a vanished subscriber must not pin the
+		// truncation clamp forever — and a timeout ends the session,
+		// dropping its clamp on the deferred deregistration above.
+		ack, err := s.readFrameTimeout(conn)
 		if err != nil {
 			return err
 		}
@@ -253,6 +271,33 @@ func (s *Shipper) Serve(conn io.ReadWriteCloser) error {
 	}
 }
 
+// ErrAckTimeout ends a session whose subscriber stopped acking without
+// breaking the transport; its truncation clamp is released.
+var ErrAckTimeout = errors.New("repl: subscriber ack timed out")
+
+// readFrameTimeout reads one subscriber frame, bounding the wait by
+// s.ackTimeout. Transports with read deadlines (net.Conn, including
+// net.Pipe) use SetReadDeadline; anything else gets a watchdog that closes
+// the transport when the timer fires, which unblocks the parked read.
+func (s *Shipper) readFrameTimeout(conn io.ReadWriteCloser) ([]byte, error) {
+	type readDeadliner interface {
+		SetReadDeadline(time.Time) error
+	}
+	if d, ok := conn.(readDeadliner); ok {
+		if d.SetReadDeadline(time.Now().Add(s.ackTimeout)) == nil {
+			payload, err := readFrame(conn)
+			_ = d.SetReadDeadline(time.Time{})
+			return payload, err
+		}
+	}
+	timer := time.AfterFunc(s.ackTimeout, func() { conn.Close() })
+	payload, err := readFrame(conn)
+	if !timer.Stop() {
+		return nil, ErrAckTimeout
+	}
+	return payload, err
+}
+
 // snapshot produces a fuzzy full-resync seed: every allocated page's image
 // (latched S, so each image is action-consistent) plus the LSN bounds. The
 // stream restarts at start = min(flushed+1, oldest in-flight transaction's
@@ -261,10 +306,14 @@ func (s *Shipper) Serve(conn io.ReadWriteCloser) error {
 // cover (the pageLSN gate makes re-applying [start, base] idempotent). For
 // any image ahead of the durable frontier the log is forced first, so a
 // shipped image never holds effects the primary could lose in a crash.
-func (s *Shipper) snapshot() (base, start page.LSN, pages []snapPage, err error) {
+// imgMax is the highest pageLSN across the shipped images: the images were
+// copied at different moments, so the seeded replica is not at any single
+// log-prefix state until it has applied through imgMax (the receiver gates
+// read service on it).
+func (s *Shipper) snapshot() (base, start, imgMax page.LSN, pages []snapPage, err error) {
 	lister, ok := s.deps.Disk.(pageLister)
 	if !ok || s.deps.TM == nil {
-		return 0, 0, nil, ErrResyncRequired
+		return 0, 0, 0, nil, ErrResyncRequired
 	}
 	base = s.deps.Log.FlushedLSN()
 	start = base + 1
@@ -276,7 +325,7 @@ func (s *Shipper) snapshot() (base, start page.LSN, pages []snapPage, err error)
 		// head; no consistent stream start exists. (Unreachable when
 		// truncation respects MinActiveFirstLSN, as the maintenance
 		// truncator does.)
-		return 0, 0, nil, fmt.Errorf("%w: stream start %d behind log head %d", ErrResyncRequired, start, logBase+1)
+		return 0, 0, 0, nil, fmt.Errorf("%w: stream start %d behind log head %d", ErrResyncRequired, start, logBase+1)
 	}
 	for _, id := range lister.PageIDs() {
 		f, ferr := s.deps.Pool.Fetch(id)
@@ -284,7 +333,7 @@ func (s *Shipper) snapshot() (base, start page.LSN, pages []snapPage, err error)
 			continue // freed while we walked; the stream's Free-Page covers it
 		}
 		if ferr != nil {
-			return 0, 0, nil, ferr
+			return 0, 0, 0, nil, ferr
 		}
 		f.Latch.Acquire(latch.S)
 		img := make([]byte, page.Size)
@@ -296,12 +345,15 @@ func (s *Shipper) snapshot() (base, start page.LSN, pages []snapPage, err error)
 			// WAL rule for shipping: force the log through everything the
 			// image contains before it leaves the primary.
 			if ferr := s.deps.Log.FlushTo(lsn); ferr != nil {
-				return 0, 0, nil, ferr
+				return 0, 0, 0, nil, ferr
 			}
+		}
+		if lsn > imgMax {
+			imgMax = lsn
 		}
 		pages = append(pages, snapPage{id: id, img: img})
 	}
-	return base, start, pages, nil
+	return base, start, imgMax, pages, nil
 }
 
 // ServeListener accepts subscribers from ln until Close. Each connection

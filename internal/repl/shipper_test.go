@@ -2,6 +2,7 @@ package repl
 
 import (
 	"errors"
+	"io"
 	"net"
 	"testing"
 	"time"
@@ -94,6 +95,93 @@ func TestShipperResumeMidLog(t *testing.T) {
 		t.Fatalf("resume batch: %d records from %d, want 10 from 11", len(recs), recs[0].LSN)
 	}
 	c.Close()
+}
+
+// TestShipperAckTimeoutReleasesClamp: a subscriber that stops acking
+// without breaking the transport (partition, hung process) must not pin the
+// truncation clamp forever — the bounded ack wait ends the session and
+// releases it.
+func TestShipperAckTimeoutReleasesClamp(t *testing.T) {
+	log := wal.NewMemLog()
+	for i := 0; i < 10; i++ {
+		log.Append(&wal.Record{Type: wal.RecBegin, Txn: 1})
+	}
+	if err := log.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewShipper(PrimaryDeps{Log: log})
+	defer s.Close()
+	s.ackTimeout = 50 * time.Millisecond
+
+	c, srv := net.Pipe()
+	defer c.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(srv) }()
+	if err := writeFrame(c, encodeHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(c); err != nil {
+		t.Fatal(err)
+	}
+	// Never ack. The session must end on its own and drop the clamp.
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Serve returned nil, want ack-timeout error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve still blocked after the ack timeout")
+	}
+	if got := s.TruncationBound(); got != page.MaxLSN {
+		t.Fatalf("clamp still held at %d after ack timeout", got)
+	}
+}
+
+// noDeadlineConn hides net.Pipe's deadline support so the watchdog fallback
+// path of the bounded ack wait is exercised.
+type noDeadlineConn struct {
+	r io.Reader
+	w io.Writer
+	c io.Closer
+}
+
+func (n *noDeadlineConn) Read(p []byte) (int, error)  { return n.r.Read(p) }
+func (n *noDeadlineConn) Write(p []byte) (int, error) { return n.w.Write(p) }
+func (n *noDeadlineConn) Close() error                { return n.c.Close() }
+
+// TestShipperAckTimeoutWatchdog is TestShipperAckTimeoutReleasesClamp over a
+// transport without SetReadDeadline: the watchdog closes the conn instead.
+func TestShipperAckTimeoutWatchdog(t *testing.T) {
+	log := wal.NewMemLog()
+	log.Append(&wal.Record{Type: wal.RecBegin, Txn: 1})
+	if err := log.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewShipper(PrimaryDeps{Log: log})
+	defer s.Close()
+	s.ackTimeout = 50 * time.Millisecond
+
+	c, srv := net.Pipe()
+	defer c.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(&noDeadlineConn{r: srv, w: srv, c: srv}) }()
+	if err := writeFrame(c, encodeHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(c); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Serve returned nil, want ack-timeout error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve still blocked after the ack timeout")
+	}
+	if got := s.TruncationBound(); got != page.MaxLSN {
+		t.Fatalf("clamp still held at %d after ack timeout", got)
+	}
 }
 
 // TestShipperRefusesTruncatedResumeWithoutSnapshot: when the resume point

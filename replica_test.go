@@ -493,6 +493,114 @@ func TestReplicaSnapshotResync(t *testing.T) {
 	}
 }
 
+// TestReplicaSnapshotResyncInFlight: the snapshot stream must start at the
+// oldest in-flight transaction's first record, not at the flushed
+// watermark, so the seeded replica's log/ATT/dirty-filter cover
+// transactions that were open at snapshot time. The replica must (a) hide
+// the uncommitted insert from reads even though the seed images already
+// contain it, and (b) undo it at promotion.
+func TestReplicaSnapshotResyncInFlight(t *testing.T) {
+	db, err := gistdb.Open(gistdb.Options{
+		MaxEntries:  8,
+		Maintenance: &gistdb.MaintenanceOptions{Manual: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	idx, err := db.CreateIndex("ints", btree.Ops{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insert := func(k int64) {
+		t.Helper()
+		tx, _ := db.Begin()
+		if _, err := idx.Insert(tx, btree.EncodeKey(k), []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		insert(int64(i))
+	}
+	// An in-flight transaction straddling the snapshot: its records predate
+	// the flushed watermark the snapshot is cut at, and it is still open
+	// when the replica attaches.
+	inflight, _ := db.Begin()
+	if _, err := idx.Insert(inflight, btree.EncodeKey(777), []byte("uncommitted")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 40; i++ {
+		insert(int64(i))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Maintenance().TickCheckpoint(true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Maintenance().TickTruncate(); err != nil {
+		t.Fatal(err)
+	}
+	if db.WAL().Base() == 0 {
+		t.Fatal("log head did not move; snapshot path not exercised")
+	}
+
+	rep, err := gistdb.OpenReplica(gistdb.Options{MaxEntries: 8}, pipeDial(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	waitApplied(t, db, rep)
+	if rep.Metrics()["repl.snapshot_loads"] != 1 {
+		t.Fatalf("snapshot_loads = %d, want 1", rep.Metrics()["repl.snapshot_loads"])
+	}
+
+	rix, err := rep.OpenIndex("ints", btree.Ops{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := searchAll(t, rep, rix)
+	if len(got) != 40 {
+		t.Fatalf("snapshot-seeded replica sees %d keys, want 40", len(got))
+	}
+	if _, leaked := got[777]; leaked {
+		t.Fatal("uncommitted in-flight insert visible on snapshot-seeded replica")
+	}
+
+	// Failover: the in-flight transaction is exactly restart's loser — the
+	// promoted replica must have undone it.
+	ndb, err := rep.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer ndb.Close()
+	nix, err := ndb.OpenIndex("ints", btree.Ops{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := ndb.Begin()
+	defer tx.Commit()
+	hits, err := nix.Search(tx, btree.EncodeRange(-1<<40, 1<<40), gistdb.ReadCommitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 40 {
+		t.Fatalf("promoted replica has %d entries, want 40 (in-flight txn must be undone)", len(hits))
+	}
+	for _, h := range hits {
+		if btree.DecodeKey(h.Key) == 777 {
+			t.Fatal("uncommitted insert survived promotion: loser not undone after snapshot resync")
+		}
+	}
+	if _, err := nix.Check(); err != nil {
+		t.Fatalf("promoted replica invariants: %v", err)
+	}
+	_ = inflight // still open on the primary; Close aborts it
+}
+
 // TestReplicaPromote: failover. The replica drains, rolls back in-flight
 // transactions from the shipped history, and comes up as a read-write
 // primary that accepts new transactions.
