@@ -31,11 +31,52 @@ type benchResult struct {
 type document struct {
 	Benchmarks []benchResult    `json:"benchmarks"`
 	Metrics    map[string]int64 `json:"metrics,omitempty"`
-	Maint      any              `json:"maint,omitempty"`
-	Cancel     any              `json:"cancel,omitempty"`
-	Readscale  any              `json:"readscale,omitempty"`
-	Restart    any              `json:"restart,omitempty"`
-	Repl       any              `json:"repl,omitempty"`
+	// Latencies regroups the metrics snapshot's histogram-derived keys
+	// (name_count/_p50/_p95/_p99/_max) into one nested object per
+	// histogram, so trend dashboards read latency distributions without
+	// re-deriving the key scheme.
+	Latencies map[string]map[string]int64 `json:"latencies,omitempty"`
+	Maint     any                         `json:"maint,omitempty"`
+	Cancel    any                         `json:"cancel,omitempty"`
+	Readscale any                         `json:"readscale,omitempty"`
+	Restart   any                         `json:"restart,omitempty"`
+	Repl      any                         `json:"repl,omitempty"`
+}
+
+// histSuffixes are the derived keys a stats.Histogram emits per base name.
+var histSuffixes = []string{"_count", "_p50", "_p95", "_p99", "_max"}
+
+// foldLatencies extracts histogram-derived keys from a flat metrics snapshot
+// into nested per-histogram objects. A name is treated as a histogram base
+// only when its full derived-key set is present, so plain counters that
+// merely end in _count (or _max) never fold.
+func foldLatencies(metrics map[string]int64) map[string]map[string]int64 {
+	out := make(map[string]map[string]int64)
+	for name := range metrics {
+		base, ok := strings.CutSuffix(name, "_count")
+		if !ok {
+			continue
+		}
+		all := true
+		for _, suf := range histSuffixes {
+			if _, present := metrics[base+suf]; !present {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		group := make(map[string]int64, len(histSuffixes))
+		for _, suf := range histSuffixes {
+			group[strings.TrimPrefix(suf, "_")] = metrics[base+suf]
+		}
+		out[base] = group
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 func main() {
@@ -69,6 +110,7 @@ func main() {
 		raw, err := os.ReadFile(*metricsPath)
 		fatalIf(err)
 		fatalIf(json.Unmarshal(raw, &doc.Metrics))
+		doc.Latencies = foldLatencies(doc.Metrics)
 	}
 	if *maintPath != "" {
 		raw, err := os.ReadFile(*maintPath)

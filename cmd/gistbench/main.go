@@ -17,7 +17,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -150,6 +152,7 @@ func expMaint() {
 			on.EndLogRecords, off.EndLogRecords))
 	}
 	if len(bad) > 0 {
+		writeSlowOpsDump()
 		fmt.Fprintf(os.Stderr, "gistbench: maint soak FAILED: %s\n", strings.Join(bad, "; "))
 		os.Exit(1)
 	}
@@ -178,7 +181,7 @@ func maintSoak(daemons bool) maintCell {
 	// The pool is sized above the working set: the write-behind flusher can
 	// then actually drain the DPT, which is what lets the truncation bound
 	// (min dirty recLSN) track the append head.
-	db, err := gistdb.Open(gistdb.Options{MaxEntries: 16, PoolPages: 4096, Maintenance: mo})
+	db, err := gistdb.Open(gistdb.Options{MaxEntries: 16, PoolPages: 4096, Maintenance: mo, SlowOpThreshold: soakSlowOpThreshold})
 	must(err)
 	defer db.Close()
 	idx, err := db.CreateIndex("maint", btree.Ops{})
@@ -306,6 +309,7 @@ func maintSoak(daemons bool) maintCell {
 	cell.TruncatedBytes = m["maint.truncated_bytes"]
 	cell.FlushPages = m["maint.flush_pages"]
 	cell.GCReclaimed = m["maint.gc_reclaimed"]
+	captureSlowOps(db)
 	return cell
 }
 
@@ -339,9 +343,10 @@ func expCancel() {
 	// Small pool + simulated I/O latency: fetches actually wait, so tight
 	// deadlines expire mid-traversal, not just at the first check.
 	db, err := gistdb.Open(gistdb.Options{
-		MaxEntries: 8,
-		PoolPages:  128,
-		IOLatency:  20 * time.Microsecond,
+		MaxEntries:      8,
+		PoolPages:       128,
+		IOLatency:       20 * time.Microsecond,
+		SlowOpThreshold: soakSlowOpThreshold,
 	})
 	must(err)
 	defer db.Close()
@@ -562,6 +567,8 @@ func expCancel() {
 		fmt.Printf("%-24s %12d\n", "wal.commit_coalesced", cell.CommitCoalesced)
 	}
 	if len(bad) > 0 {
+		captureSlowOps(db)
+		writeSlowOpsDump()
 		fmt.Fprintf(os.Stderr, "gistbench: cancel soak FAILED: %s\n", strings.Join(bad, "; "))
 		os.Exit(1)
 	}
@@ -635,6 +642,7 @@ func expReadscale() {
 		}
 	}
 	if len(bad) > 0 {
+		writeSlowOpsDump()
 		fmt.Fprintf(os.Stderr, "gistbench: readscale soak FAILED: %s\n", strings.Join(bad, "; "))
 		os.Exit(1)
 	}
@@ -657,7 +665,7 @@ func readscaleSoak(optimistic bool) []readscaleCell {
 	if optimistic {
 		mode = gistdb.OptimisticOn
 	}
-	db, err := gistdb.Open(gistdb.Options{PoolPages: 4096, OptimisticReads: mode})
+	db, err := gistdb.Open(gistdb.Options{PoolPages: 4096, OptimisticReads: mode, SlowOpThreshold: soakSlowOpThreshold})
 	must(err)
 	defer db.Close()
 	idx, err := db.CreateIndex("readscale", btree.Ops{})
@@ -724,6 +732,8 @@ func readscaleSoak(optimistic bool) []readscaleCell {
 						lo := int64(rng.Intn(keys - 20))
 						rs, err := idx.Search(tx, btree.EncodeRange(lo, lo+19), gistdb.ReadCommitted)
 						if err != nil || len(rs) != 20 {
+							captureSlowOps(db)
+							writeSlowOpsDump()
 							fmt.Fprintf(os.Stderr, "gistbench: readscale search: err=%v results=%d want 20\n", err, len(rs))
 							os.Exit(1)
 						}
@@ -742,6 +752,8 @@ func readscaleSoak(optimistic bool) []readscaleCell {
 						}
 						c.Close()
 						if n != 100 {
+							captureSlowOps(db)
+							writeSlowOpsDump()
 							fmt.Fprintf(os.Stderr, "gistbench: readscale cursor drained %d entries, want 100\n", n)
 							os.Exit(1)
 						}
@@ -768,6 +780,7 @@ func readscaleSoak(optimistic bool) []readscaleCell {
 			SAcquires:    d("latch.s_acquires"),
 			XAcquires:    d("latch.x_acquires"),
 		})
+		captureSlowOps(db)
 	}
 	return cells
 }
@@ -886,7 +899,32 @@ func expMetrics() {
 	must(err)
 	must(tx.Abort())
 
+	// Replica leg: stream a slice of the workload to a read replica so the
+	// repl.apply_lag histogram and the applier's recovery.redo_drain see
+	// real batches, then fold the replica-side keys into the snapshot.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	must(err)
+	go db.Shipper().ServeListener(ln)
+	addr := ln.Addr().String()
+	rep, err := gistdb.OpenReplica(gistdb.Options{}, func() (io.ReadWriteCloser, error) {
+		return net.Dial("tcp", addr)
+	})
+	must(err)
+	for k := int64(201); k <= 260; k++ {
+		tx, _ := db.Begin()
+		_, err := idx.Insert(tx, btree.EncodeKey(k), []byte("v"))
+		must(err)
+		must(tx.Commit())
+	}
+	must(quiesce(db, rep))
+
 	m := db.Metrics()
+	for name, v := range rep.Metrics() {
+		if strings.HasPrefix(name, "repl.") || strings.HasPrefix(name, "recovery.") {
+			m[name] = v
+		}
+	}
+	must(rep.Close())
 	if *jsonFlag {
 		// Machine-readable path for CI trend tracking: just the merged
 		// snapshot, keys sorted, nothing else on stdout.
@@ -928,6 +966,34 @@ func must(err error) {
 		os.Exit(1)
 	}
 }
+
+// Slow-op evidence for failed soaks: each soak captures its database's
+// flight-recorder rings before the instance goes away; a failed acceptance
+// check then writes them to slowops.json, which CI uploads as an artifact.
+var slowOpsDump []byte
+
+func captureSlowOps(db *gistdb.DB) {
+	out, err := json.MarshalIndent(map[string][]gistdb.OpTrace{
+		"slow":   db.SlowOps(),
+		"recent": db.RecentOps(),
+	}, "", "  ")
+	if err == nil {
+		slowOpsDump = out
+	}
+}
+
+func writeSlowOpsDump() {
+	if slowOpsDump == nil {
+		return
+	}
+	if err := os.WriteFile("slowops.json", slowOpsDump, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gistbench: slowops dump:", err)
+	}
+}
+
+// soakSlowOpThreshold pins any soak operation slower than this into the
+// recorder's slow ring.
+const soakSlowOpThreshold = 20 * time.Millisecond
 
 func parseThreads() []int {
 	var out []int

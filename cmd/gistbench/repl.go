@@ -68,6 +68,7 @@ func expRepl() {
 		fmt.Printf("%-24s %12d\n", "entries after promote", cell.PromoteEntries)
 	}
 	if len(bad) > 0 {
+		writeSlowOpsDump()
 		fmt.Fprintf(os.Stderr, "gistbench: repl soak FAILED: %s\n", strings.Join(bad, "; "))
 		os.Exit(1)
 	}
@@ -88,7 +89,7 @@ func replSoak() (replCell, []string) {
 		badMu.Unlock()
 	}
 
-	db, err := gistdb.Open(gistdb.Options{PoolPages: 4096})
+	db, err := gistdb.Open(gistdb.Options{PoolPages: 4096, SlowOpThreshold: soakSlowOpThreshold})
 	must(err)
 	idx, err := db.CreateIndex("repl", btree.Ops{})
 	must(err)
@@ -307,6 +308,7 @@ func replSoak() (replCell, []string) {
 
 	// Failover: kill the primary, promote the replica, and demand the full
 	// committed state plus acceptance of new writes.
+	captureSlowOps(db)
 	must(db.Close())
 	ln.Close()
 	promoted, err := rep.Promote()

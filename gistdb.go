@@ -160,6 +160,13 @@ type Options struct {
 	// loser undo (0 = GOMAXPROCS; 1 = the serial single-goroutine order,
 	// the determinism gate for byte-exact repro of a restart).
 	RecoveryWorkers int
+	// SlowOpThreshold pins every operation at least this slow into the
+	// flight recorder's slow ring (see DB.SlowOps); 0 disables pinning.
+	// The recent ring is always on regardless.
+	SlowOpThreshold time.Duration
+	// RecentOps sizes the flight recorder's recent ring
+	// (0 = stats.DefaultRecentOps).
+	RecentOps int
 }
 
 // DB is an open database.
@@ -173,8 +180,9 @@ type DB struct {
 	preds  *predicate.Manager
 	tm     *txn.Manager
 	heap   *heap.File
-	maint  *maintenance.Manager // nil unless Options.Maintenance was set
-	recReg *stats.Registry      // restart metrics; nil if this open ran no recovery
+	maint    *maintenance.Manager // nil unless Options.Maintenance was set
+	recReg   *stats.Registry      // restart metrics; nil if this open ran no recovery
+	recorder *stats.Recorder      // always-on op flight recorder
 
 	mu      sync.Mutex
 	catalog page.PageID
@@ -196,11 +204,12 @@ func Open(opts Options) (*DB, error) {
 		opts.PoolPages = 1024
 	}
 	db := &DB{
-		opts:    opts,
-		locks:   lock.NewManager(),
-		preds:   predicate.NewManager(),
-		indexes: make(map[string]*Index),
-		catalog: catalogPage,
+		opts:     opts,
+		locks:    lock.NewManager(),
+		preds:    predicate.NewManager(),
+		indexes:  make(map[string]*Index),
+		catalog:  catalogPage,
+		recorder: stats.NewRecorder(opts.RecentOps, opts.SlowOpThreshold),
 	}
 	fresh := true
 	if opts.Dir == "" {
@@ -503,6 +512,7 @@ func (db *DB) treeConfig(ops Ops) gist.Config {
 		ParentLSNOpt:      db.opts.ParentLSNOpt,
 		OptimisticReads:   db.opts.OptimisticReads == OptimisticOn,
 		OptimisticRetries: db.opts.OptimisticRetries,
+		Recorder:          db.recorder,
 	}
 }
 
@@ -593,6 +603,9 @@ func (db *DB) Metrics() map[string]int64 {
 		// Latches are embedded in frames with no owning manager, so their
 		// registry is process-global (as the old latch.GlobalStats was).
 		latch.Metrics(),
+		// Tree-operation latency histograms (gist.search_p50, ...), also
+		// process-global.
+		gist.Metrics(),
 	}
 	if db.maint != nil {
 		regs = append(regs, db.maint.Metrics())
@@ -607,6 +620,20 @@ func (db *DB) Metrics() map[string]int64 {
 	db.shipMu.Unlock()
 	return stats.Merged(regs...)
 }
+
+// OpTrace is one flight-recorder entry: an operation's kind, latency, and
+// per-phase wait breakdown. See stats.OpTrace for the field semantics.
+type OpTrace = stats.OpTrace
+
+// RecentOps returns the flight recorder's retained traces, oldest first:
+// the last Options.RecentOps tracked operations (searches, inserts, deletes,
+// cursor scans, commits) with their latency and phase breakdown. Always on;
+// safe to call concurrently with running operations.
+func (db *DB) RecentOps() []OpTrace { return db.recorder.Recent() }
+
+// SlowOps returns the traces pinned by Options.SlowOpThreshold, oldest
+// first. Empty when no threshold was set or nothing crossed it.
+func (db *DB) SlowOps() []OpTrace { return db.recorder.Slow() }
 
 // Close flushes everything and closes the database cleanly. Order matters:
 // the pool's FlushAll runs WAL-rule forces through the log's group-commit
@@ -665,11 +692,12 @@ func (db *DB) SimulateCrash() (*DB, error) {
 	db.mu.Unlock()
 
 	survivor := &DB{
-		opts:    db.opts,
-		locks:   lock.NewManager(),
-		preds:   predicate.NewManager(),
-		indexes: make(map[string]*Index),
-		catalog: db.catalog,
+		opts:     db.opts,
+		locks:    lock.NewManager(),
+		preds:    predicate.NewManager(),
+		indexes:  make(map[string]*Index),
+		catalog:  db.catalog,
+		recorder: stats.NewRecorder(db.opts.RecentOps, db.opts.SlowOpThreshold),
 	}
 	survivor.mem = db.mem.Snapshot()
 	survivor.disk = survivor.mem
@@ -709,11 +737,12 @@ func (db *DB) SimulateCrashAtLSN(lsn page.LSN) (*DB, error) {
 	db.mu.Unlock()
 
 	survivor := &DB{
-		opts:    db.opts,
-		locks:   lock.NewManager(),
-		preds:   predicate.NewManager(),
-		indexes: make(map[string]*Index),
-		catalog: db.catalog,
+		opts:     db.opts,
+		locks:    lock.NewManager(),
+		preds:    predicate.NewManager(),
+		indexes:  make(map[string]*Index),
+		catalog:  db.catalog,
+		recorder: stats.NewRecorder(db.opts.RecentOps, db.opts.SlowOpThreshold),
 	}
 	survivor.mem = db.mem.Snapshot()
 	survivor.disk = survivor.mem

@@ -165,6 +165,8 @@ type Pool struct {
 	contended     *stats.Counter // shard mutex acquisitions that blocked
 	ringHits      *stats.Counter // steals satisfied by the preferred ring neighbor
 	loadWaitNanos *stats.Counter // time spent parked on Loading/Writing frames
+	loadHist      *stats.Histogram // per-fetch off-fast-path latency (parks + disk reads)
+	stealHist     *stats.Histogram // cross-shard steal walk latency
 
 	// stealClock orders cross-shard steals so the neighbor ring can prefer
 	// the shards stolen from least recently.
@@ -199,6 +201,8 @@ func New(disk storage.Manager, capacity int, wal LogFlusher) *Pool {
 	p.contended = p.reg.Counter("buffer.shard_contention")
 	p.ringHits = p.reg.Counter("buffer.steal_ring_hits")
 	p.loadWaitNanos = p.reg.Counter("buffer.load_wait_nanos")
+	p.loadHist = p.reg.Histogram("buffer.load")
+	p.stealHist = p.reg.Histogram("buffer.steal")
 	p.reg.Gauge("buffer.shards", func() int64 { return int64(nshards) })
 	p.reg.Gauge("buffer.capacity", func() int64 { return int64(capacity) })
 	p.reg.Gauge("buffer.pinned_frames", func() int64 {
@@ -300,15 +304,29 @@ func wakeOnDone(ctx context.Context, s *shard) func() bool {
 
 // FetchExCtx is FetchEx with FetchCtx's cancellation contract.
 func (p *Pool) FetchExCtx(ctx context.Context, id page.PageID) (*Frame, bool, error) {
+	f, missed, _, err := p.fetchEx(ctx, id)
+	return f, missed, err
+}
+
+// FetchExStats is FetchExCtx additionally reporting the nanoseconds this
+// call spent off the fast path: parked on a frame another goroutine was
+// loading or writing back, plus this call's own disk read on a miss. A
+// buffer hit returns 0 without ever reading the clock. Operations use it to
+// attribute buffer-load time to themselves.
+func (p *Pool) FetchExStats(ctx context.Context, id page.PageID) (f *Frame, missed bool, waitNanos int64, err error) {
+	return p.fetchEx(ctx, id)
+}
+
+func (p *Pool) fetchEx(ctx context.Context, id page.PageID) (_ *Frame, missed bool, waitNanos int64, err error) {
 	if id == page.InvalidPage {
-		return nil, false, fmt.Errorf("buffer: fetch of invalid page")
+		return nil, false, 0, fmt.Errorf("buffer: fetch of invalid page")
 	}
 	s := p.shardOf(id)
 	s.lock()
 	for {
 		if err := ctxErr(ctx); err != nil {
 			s.mu.Unlock()
-			return nil, false, err
+			return nil, false, waitNanos, err
 		}
 		if f, ok := s.table[id]; ok {
 			f.pins++
@@ -339,14 +357,16 @@ func (p *Pool) FetchExCtx(ctx context.Context, id page.PageID) (*Frame, bool, er
 				if stop != nil {
 					stop()
 				}
-				p.loadWaitNanos.Add(time.Since(waitStart).Nanoseconds())
+				parked := time.Since(waitStart).Nanoseconds()
+				p.loadWaitNanos.Add(parked)
+				waitNanos += parked
 			}
 			if cancelled != nil {
 				// Give back the pin taken above; the loader (or writer)
 				// owns its own pin and finishes undisturbed.
 				f.pins--
 				s.mu.Unlock()
-				return nil, false, cancelled
+				return nil, false, waitNanos, cancelled
 			}
 			if stale {
 				f.pins--
@@ -356,13 +376,16 @@ func (p *Pool) FetchExCtx(ctx context.Context, id page.PageID) (*Frame, bool, er
 			// stolen for another page, so f.id is still id.
 			s.mu.Unlock()
 			p.hits.Add(1)
-			return f, false, nil
+			if waitNanos > 0 {
+				p.loadHist.Observe(waitNanos)
+			}
+			return f, false, waitNanos, nil
 		}
 		// Miss: claim a reusable frame in this shard.
 		f, dropped, err := p.claimLocked(s)
 		if err != nil {
 			s.mu.Unlock()
-			return nil, false, err
+			return nil, false, waitNanos, err
 		}
 		if f == nil || (dropped && s.table[id] != nil) {
 			// The shard mutex was dropped along the way (write-back
@@ -392,7 +415,14 @@ func (p *Pool) FetchExCtx(ctx context.Context, id page.PageID) (*Frame, bool, er
 		s.table[id] = f
 		s.mu.Unlock()
 
+		var readStart time.Time
+		if stats.Enabled {
+			readStart = time.Now()
+		}
 		rerr := p.disk.ReadPage(id, f.Page.Bytes())
+		if stats.Enabled {
+			waitNanos += time.Since(readStart).Nanoseconds()
+		}
 
 		s.lock()
 		if rerr != nil {
@@ -401,13 +431,14 @@ func (p *Pool) FetchExCtx(ctx context.Context, id page.PageID) (*Frame, bool, er
 			delete(s.table, id)
 			s.cond.Broadcast()
 			s.mu.Unlock()
-			return nil, false, rerr
+			return nil, false, waitNanos, rerr
 		}
 		f.state = stateReady
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		p.misses.Add(1)
-		return f, true, nil
+		p.loadHist.Observe(waitNanos)
+		return f, true, waitNanos, nil
 	}
 }
 
@@ -445,7 +476,14 @@ func (p *Pool) claimLocked(s *shard) (f *Frame, dropped bool, err error) {
 		// first become local victims for the rescan (and for the next
 		// misses on this shard).
 		s.mu.Unlock()
+		var stealStart time.Time
+		if stats.Enabled {
+			stealStart = time.Now()
+		}
 		stolen := p.stealFrames(s)
+		if stats.Enabled {
+			p.stealHist.Observe(time.Since(stealStart).Nanoseconds())
+		}
 		s.lock()
 		dropped = true
 		if len(stolen) > 0 {

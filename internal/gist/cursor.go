@@ -62,6 +62,7 @@ func (t *Tree) OpenCursorCtx(ctx context.Context, tx *txn.Txn, query []byte, iso
 
 func (t *Tree) openCursor(ctx context.Context, tx *txn.Txn, query []byte, iso Isolation, attach *predicate.Predicate, conflicts func(*predicate.Predicate) bool) (*Cursor, error) {
 	o := t.opEnterCtx(ctx, tx)
+	o.track("cursor")
 	// Counter before root pointer: see locateLeaf for why this order is
 	// load-bearing against racing root splits.
 	nsn := t.counter()

@@ -33,6 +33,7 @@ func (t *Tree) Delete(tx *txn.Txn, key []byte, rid page.RID) error {
 func (t *Tree) DeleteCtx(ctx context.Context, tx *txn.Txn, key []byte, rid page.RID) error {
 	t.Stats.Deletes.Add(1)
 	o := t.opEnterCtx(ctx, tx)
+	o.track("delete")
 	defer o.exit()
 	if err := tx.LockCtx(o.context(), lock.ForRID(rid), lock.X); err != nil {
 		return wrapLockErr(err)

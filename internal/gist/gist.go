@@ -26,15 +26,48 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/latch"
 	"repro/internal/lock"
 	"repro/internal/page"
 	"repro/internal/predicate"
+	"repro/internal/stats"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
+
+// The package-level registry carries the tree-operation latency histograms.
+// Trees have no registry of their own (their counters live in the Stats
+// struct), so op latencies are process-global like the latch counters,
+// surfaced by Metrics alongside every other subsystem.
+var (
+	opReg      = stats.NewRegistry()
+	searchHist = opReg.Histogram("gist.search")
+	insertHist = opReg.Histogram("gist.insert")
+	deleteHist = opReg.Histogram("gist.delete")
+	cursorHist = opReg.Histogram("gist.cursor")
+)
+
+// Metrics exposes the process-wide tree-operation latency registry
+// (gist.search, gist.insert, gist.delete, gist.cursor histograms).
+func Metrics() *stats.Registry { return opReg }
+
+// opHist maps an operation kind to its latency histogram.
+func opHist(kind string) *stats.Histogram {
+	switch kind {
+	case "search":
+		return searchHist
+	case "insert":
+		return insertHist
+	case "delete":
+		return deleteHist
+	case "cursor":
+		return cursorHist
+	}
+	return nil
+}
 
 // Ops is the extension-method interface of [HNP95]: the four domain
 // operations that specialize the template tree to a concrete access method.
@@ -112,6 +145,9 @@ type Config struct {
 	// node visit tolerates before falling back to the pessimistic shared
 	// latch; 0 means the default (3).
 	OptimisticRetries int
+	// Recorder, when set, receives one flight-recorder trace per tracked
+	// public operation (search, insert, delete, cursor lifetime).
+	Recorder *stats.Recorder
 }
 
 // defaultOptimisticRetries is the fallback ladder depth when the config
@@ -354,6 +390,16 @@ type op struct {
 	optReads     int64
 	optRestarts  int64
 	optFallbacks int64
+
+	// Flight-recorder scratch (set by track, folded by exit). All local to
+	// the operation's goroutine; the only shared writes happen once at
+	// exit (one histogram add plus one recorder store).
+	kind      string // "search", "insert", "delete", "cursor"; "" = untracked
+	startNano int64  // wall-clock start (Unix nanos)
+	lockWait0 int64  // lock-manager wait baseline at entry (delta = this op's)
+	latchWait int64  // nanos blocked acquiring node latches
+	bufLoad   int64  // nanos in buffer misses and parks
+	visits    int32  // pages fetched
 }
 
 // opEnter registers an operation with the epoch tracker.
@@ -399,11 +445,53 @@ func (o *op) context() context.Context {
 	return o.ctx
 }
 
+// track marks the operation as one of the public entry points ("search",
+// "insert", "delete", "cursor"), arming the latency histogram and flight-
+// recorder trace that exit folds. Internal operations (GC sweeps, the
+// deletion machinery's sub-searches) stay untracked. No-op in the statsoff
+// build.
+func (o *op) track(kind string) {
+	if !stats.Enabled {
+		return
+	}
+	o.kind = kind
+	o.startNano = time.Now().UnixNano()
+	o.lockWait0 = o.t.locks.TxnWaitNanos(o.tx.ID())
+}
+
+// finishTrace observes the tracked operation's latency histogram and records
+// its flight-recorder trace.
+func (o *op) finishTrace() {
+	end := time.Now().UnixNano()
+	dur := end - o.startNano
+	if h := opHist(o.kind); h != nil {
+		h.Observe(dur)
+	}
+	if rec := o.t.cfg.Recorder; rec != nil {
+		rec.Record(&stats.OpTrace{
+			Op:           o.kind,
+			Txn:          uint64(o.tx.ID()),
+			Start:        o.startNano,
+			Duration:     dur,
+			LatchWait:    o.latchWait,
+			LockWait:     o.t.locks.TxnWaitNanos(o.tx.ID()) - o.lockWait0,
+			BufLoad:      o.bufLoad,
+			NodeVisits:   o.visits,
+			OptRestarts:  int32(o.optRestarts),
+			OptFallbacks: int32(o.optFallbacks),
+		})
+	}
+	o.kind = ""
+}
+
 // exit deregisters the operation, releases its remaining signaling locks
 // (except those pinned until transaction end), and frees quarantined pages
 // whose drain condition is now met.
 func (o *op) exit() {
 	t := o.t
+	if stats.Enabled && o.kind != "" {
+		o.finishTrace()
+	}
 	if o.optReads != 0 || o.optRestarts != 0 || o.optFallbacks != 0 {
 		latch.AddOptStats(o.optReads, o.optRestarts, o.optFallbacks)
 		o.optReads, o.optRestarts, o.optFallbacks = 0, 0, 0
@@ -522,7 +610,11 @@ func (o *op) fetch(id page.PageID) (*buffer.Frame, error) {
 	if ctx != nil && o.tx.InNTA() {
 		ctx = nil // fetches inside a structure modification are not cancellable
 	}
-	f, missed, err := o.t.pool.FetchExCtx(ctx, id)
+	f, missed, waitNanos, err := o.t.pool.FetchExStats(ctx, id)
+	if stats.Enabled {
+		o.visits++
+		o.bufLoad += waitNanos
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -540,7 +632,7 @@ func (o *op) fetch(id page.PageID) (*buffer.Frame, error) {
 }
 
 func (o *op) latchPage(f *buffer.Frame, m latch.Mode) {
-	f.Latch.Acquire(m)
+	o.latchWait += f.Latch.AcquireTimed(m)
 	o.latches++
 }
 

@@ -46,6 +46,7 @@ func (t *Tree) Insert(tx *txn.Txn, key []byte, rid page.RID) error {
 func (t *Tree) InsertCtx(ctx context.Context, tx *txn.Txn, key []byte, rid page.RID) error {
 	t.Stats.Inserts.Add(1)
 	o := t.opEnterCtx(ctx, tx)
+	o.track("insert")
 	defer o.exit()
 	if err := tx.LockCtx(o.context(), lock.ForRID(rid), lock.X); err != nil {
 		return wrapLockErr(err)

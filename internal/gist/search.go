@@ -50,6 +50,7 @@ func (t *Tree) Search(tx *txn.Txn, query []byte, iso Isolation) ([]SearchResult,
 func (t *Tree) SearchCtx(ctx context.Context, tx *txn.Txn, query []byte, iso Isolation) ([]SearchResult, error) {
 	t.Stats.Searches.Add(1)
 	o := t.opEnterCtx(ctx, tx)
+	o.track("search")
 	defer o.exit()
 	var pred *predicate.Predicate
 	if iso == RepeatableRead {

@@ -30,6 +30,7 @@ func (t *Tree) InsertUnique(tx *txn.Txn, key []byte, rid page.RID) error {
 func (t *Tree) InsertUniqueCtx(ctx context.Context, tx *txn.Txn, key []byte, rid page.RID) error {
 	t.Stats.Inserts.Add(1)
 	o := t.opEnterCtx(ctx, tx)
+	o.track("insert")
 	defer o.exit()
 
 	if err := tx.LockCtx(o.context(), lock.ForRID(rid), lock.X); err != nil {

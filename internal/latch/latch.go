@@ -22,6 +22,7 @@ package latch
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -57,6 +58,9 @@ var (
 	optReads     = reg.Counter("latch.opt_reads")
 	optRestarts  = reg.Counter("latch.opt_restarts")
 	optFallbacks = reg.Counter("latch.opt_fallbacks")
+	sWaitHist    = reg.Histogram("latch.s_wait")
+	xWaitHist    = reg.Histogram("latch.x_wait")
+	xHoldHist    = reg.Histogram("latch.x_hold")
 )
 
 // Metrics exposes the process-wide latch counter registry
@@ -97,25 +101,82 @@ type Latch struct {
 	// buffer pool poisons a frame this way when remapping it to a
 	// different page.
 	ver atomic.Uint64
+
+	// holdT0 is the X acquisition time in Unix nanoseconds, written by the
+	// current exclusive holder and read back by its Release — the X lock
+	// itself orders the accesses, so a plain field suffices. Zero when
+	// instrumentation is off.
+	holdT0 int64
 }
 
 // Acquire takes the latch in the given mode, blocking until available.
 func (l *Latch) Acquire(m Mode) {
-	if m == S {
-		l.mu.RLock()
-		sAcquires.Add(1)
-		return
-	}
-	l.mu.Lock()
-	l.ver.Add(1) // odd: writer inside; optimistic captures now fail
-	xAcquires.Add(1)
+	l.AcquireTimed(m)
 }
+
+// AcquireTimed takes the latch in the given mode, blocking until available,
+// and returns the nanoseconds spent blocked (0 on the uncontended fast path,
+// which never reads the clock, and always 0 in the statsoff build).
+func (l *Latch) AcquireTimed(m Mode) int64 {
+	if m == S {
+		if !stats.Enabled {
+			l.mu.RLock()
+			sAcquires.Add(1)
+			return 0
+		}
+		var wait int64
+		if !l.mu.TryRLock() {
+			t0 := time.Now()
+			l.mu.RLock()
+			wait = time.Since(t0).Nanoseconds()
+			sWaitHist.Observe(wait)
+		}
+		sAcquires.Add(1)
+		return wait
+	}
+	if !stats.Enabled {
+		l.mu.Lock()
+		l.ver.Add(1) // odd: writer inside; optimistic captures now fail
+		xAcquires.Add(1)
+		return 0
+	}
+	var wait int64
+	if l.mu.TryLock() {
+		// Uncontended: hold timing is sampled (1 in xHoldSample) off the
+		// acquire counter we bump anyway, so the fast path usually skips
+		// the clock entirely.
+		if xAcquires.Inc64()%xHoldSample == 0 {
+			l.holdT0 = time.Now().UnixNano()
+		}
+		l.ver.Add(1)
+		return 0
+	}
+	t0 := time.Now()
+	l.mu.Lock()
+	now := time.Now()
+	wait = now.Sub(t0).Nanoseconds()
+	xWaitHist.Observe(wait)
+	l.holdT0 = now.UnixNano() // contended acquisitions always time the hold
+	l.ver.Add(1)              // odd: writer inside; optimistic captures now fail
+	xAcquires.Add(1)
+	return wait
+}
+
+// xHoldSample is the uncontended X-hold sampling interval: one in every
+// xHoldSample uncontended exclusive acquisitions times its hold for the
+// latch.x_hold histogram. Contended acquisitions are always timed (the
+// clock was already read for the wait).
+const xHoldSample = 8
 
 // Release releases the latch previously acquired in mode m.
 func (l *Latch) Release(m Mode) {
 	if m == S {
 		l.mu.RUnlock()
 		return
+	}
+	if stats.Enabled && l.holdT0 != 0 {
+		xHoldHist.Observe(time.Now().UnixNano() - l.holdT0)
+		l.holdT0 = 0
 	}
 	l.ver.Add(1) // even again, but different: outstanding validations fail
 	l.mu.Unlock()
@@ -134,8 +195,12 @@ func (l *Latch) TryAcquire(m Mode) bool {
 	}
 	ok = l.mu.TryLock()
 	if ok {
+		if stats.Enabled && xAcquires.Inc64()%xHoldSample == 0 {
+			l.holdT0 = time.Now().UnixNano()
+		} else if !stats.Enabled {
+			xAcquires.Add(1)
+		}
 		l.ver.Add(1)
-		xAcquires.Add(1)
 	}
 	return ok
 }

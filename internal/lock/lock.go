@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/page"
@@ -182,6 +183,13 @@ type Manager struct {
 	detectSkips  *stats.Counter
 	cancels      *stats.Counter
 	waitNanos    *stats.Counter
+	waitHist     *stats.Histogram
+
+	// txnWaits accumulates per-transaction blocked nanoseconds
+	// (page.TxnID → *atomic.Int64) so an operation can attribute lock-wait
+	// time to itself by delta. Touched only on the block slow path and at
+	// transaction end, never on an uncontended grant.
+	txnWaits sync.Map
 }
 
 // NewManager returns an empty lock manager. The stripe count adapts to
@@ -198,6 +206,7 @@ func NewManager() *Manager {
 	m.detectSkips = m.reg.Counter("lock.detect_skips")
 	m.cancels = m.reg.Counter("lock.cancels")
 	m.waitNanos = m.reg.Counter("lock.wait_nanos")
+	m.waitHist = m.reg.Histogram("lock.wait")
 	m.reg.Gauge("lock.stripes", func() int64 { return int64(len(m.stripes)) })
 	m.reg.Gauge("lock.queue_waiters", func() int64 {
 		var total int64
@@ -347,7 +356,12 @@ func (m *Manager) block(ctx context.Context, st *stripe, ll *lockList, w *waiter
 	m.waits.Inc()
 	st.mu.Unlock()
 	start := time.Now()
-	defer func() { m.waitNanos.Add(time.Since(start).Nanoseconds()) }()
+	defer func() {
+		waited := time.Since(start).Nanoseconds()
+		m.waitNanos.Add(waited)
+		m.waitHist.Observe(waited)
+		m.addTxnWait(w.txn, waited)
+	}()
 	grace := time.NewTimer(detectGrace)
 	select {
 	case err := <-w.done:
@@ -488,8 +502,32 @@ func (m *Manager) promoteLocked(st *stripe, ll *lockList) {
 	}
 }
 
+// addTxnWait folds blocked nanoseconds into txn's wait accumulator. Runs on
+// the block slow path only.
+func (m *Manager) addTxnWait(txn page.TxnID, nanos int64) {
+	if !stats.Enabled {
+		return
+	}
+	v, ok := m.txnWaits.Load(txn)
+	if !ok {
+		v, _ = m.txnWaits.LoadOrStore(txn, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(nanos)
+}
+
+// TxnWaitNanos returns the cumulative nanoseconds txn has spent blocked in
+// the manager so far. Operations read it at entry and exit and attribute the
+// delta to themselves.
+func (m *Manager) TxnWaitNanos(txn page.TxnID) int64 {
+	if v, ok := m.txnWaits.Load(txn); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
 // ReleaseAll releases every lock held by txn (transaction end, 2PL).
 func (m *Manager) ReleaseAll(txn page.TxnID) {
+	m.txnWaits.Delete(txn)
 	hs := m.heldStripeOf(txn)
 	hs.mu.Lock()
 	names := make([]Name, 0, len(hs.held[txn]))

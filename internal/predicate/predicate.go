@@ -459,8 +459,9 @@ func (m *Manager) Stats() (checks, predsExamined int64) {
 	return m.checks.Load(), m.predsExamined.Load()
 }
 
-// ResetStats zeroes the counters.
+// ResetStats zeroes every counter and histogram in the manager's registry.
+// Per-counter Store(0) resets silently miss latency histograms added later;
+// Registry.Reset covers both kinds by construction.
 func (m *Manager) ResetStats() {
-	m.checks.Store(0)
-	m.predsExamined.Store(0)
+	m.reg.Reset()
 }

@@ -3,9 +3,11 @@ package recovery
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/page"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -41,11 +43,18 @@ type Applier struct {
 // transaction manager. workers is the redo fan-out (0 = GOMAXPROCS-derived,
 // 1 = serial global-LSN order, the determinism gate).
 func NewApplier(log *wal.Log, pool *buffer.Pool, disk storage.Manager, tm *txn.Manager, workers int) *Applier {
-	return &Applier{
+	ap := &Applier{
 		r:      &Recovery{Log: log, Pool: pool, Disk: disk, TM: tm, Workers: workers},
 		losers: make(map[page.TxnID]page.LSN),
 	}
+	ap.r.initMetrics()
+	return ap
 }
+
+// Metrics exposes the applier's recovery-counter registry (redo volume,
+// queue shape, the recovery.redo_drain per-batch latency histogram), for
+// merging into a replica's engine-wide snapshot.
+func (ap *Applier) Metrics() *stats.Registry { return ap.r.Metrics() }
 
 // ApplyBatch repeats history for one contiguous batch of records, which the
 // caller has already appended to the replica log (AppendShipped). It fuses
@@ -92,9 +101,20 @@ func (ap *Applier) ApplyBatch(recs []*wal.Record) error {
 	}
 	a := &Analysis{RedoLSN: recs[0].LSN, DPT: map[page.PageID]page.LSN{}}
 	var st Stats
+	var t0 time.Time
+	if stats.Enabled {
+		t0 = time.Now()
+	}
 	if err := ap.r.redo(a, plan, &st, ap.r.workers()); err != nil {
 		return fmt.Errorf("apply: %w", err)
 	}
+	if stats.Enabled {
+		drain := time.Since(t0).Nanoseconds()
+		ap.r.redoNanos.Add(drain)
+		ap.r.redoDrainHist.Observe(drain)
+	}
+	ap.r.redone.Add(int64(st.Redone))
+	ap.r.redoSkipped.Add(int64(st.RedoSkipped))
 	ap.applied.Store(uint64(recs[len(recs)-1].LSN))
 	return nil
 }

@@ -64,6 +64,7 @@ type Recovery struct {
 	losers, undone                         *stats.Counter
 	prefetchHits, prefetchMisses           *stats.Counter
 	queuePages, queueMaxDepth, workerPages *stats.Counter
+	redoDrainHist                          *stats.Histogram
 }
 
 // Analysis is the outcome of the analysis pass.
@@ -118,6 +119,9 @@ func (r *Recovery) initMetrics() {
 		r.queuePages = reg.Counter("recovery.redo_queue_pages")
 		r.queueMaxDepth = reg.Counter("recovery.redo_queue_max_depth")
 		r.workerPages = reg.Counter("recovery.worker_pages_max")
+		// One observation per redo-queue drain: the whole pass at restart,
+		// one batch on a streaming replica.
+		r.redoDrainHist = reg.Histogram("recovery.redo_drain")
 		reg.Gauge("recovery.workers", func() int64 { return r.workersUsed.Load() })
 		r.reg = reg
 	})
@@ -160,7 +164,9 @@ func (r *Recovery) Run(register func() error) (*Stats, error) {
 
 	t0 = time.Now()
 	err = r.redo(a, plan, st, workers)
-	r.redoNanos.Add(time.Since(t0).Nanoseconds())
+	redoElapsed := time.Since(t0).Nanoseconds()
+	r.redoNanos.Add(redoElapsed)
+	r.redoDrainHist.Observe(redoElapsed)
 	r.redone.Add(int64(st.Redone))
 	r.redoSkipped.Add(int64(st.RedoSkipped))
 	if err != nil {

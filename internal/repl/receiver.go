@@ -87,6 +87,7 @@ type Receiver struct {
 	records    *stats.Counter
 	reconnects *stats.Counter
 	snapLoads  *stats.Counter
+	lagHist    *stats.Histogram
 	promoted   atomic.Bool
 }
 
@@ -107,6 +108,10 @@ func NewReceiver(d ReceiverDeps, dial func() (io.ReadWriteCloser, error)) *Recei
 	r.records = r.reg.Counter("repl.apply_records")
 	r.reconnects = r.reg.Counter("repl.reconnects")
 	r.snapLoads = r.reg.Counter("repl.snapshot_loads")
+	// Sampled after every applied batch, in LSN units (records behind the
+	// primary's flushed watermark), not nanoseconds: the distribution of
+	// how far reads trail the primary.
+	r.lagHist = r.reg.Histogram("repl.apply_lag")
 	r.reg.Gauge("repl.applied_lsn", func() int64 { return int64(r.ap.AppliedLSN()) })
 	r.reg.Gauge("repl.apply_lag_lsn", func() int64 {
 		lag := int64(r.primaryFlushed.Load()) - int64(r.ap.AppliedLSN())
@@ -120,6 +125,10 @@ func NewReceiver(d ReceiverDeps, dial func() (io.ReadWriteCloser, error)) *Recei
 
 // Metrics exposes the receiver's counter registry.
 func (r *Receiver) Metrics() *stats.Registry { return r.reg }
+
+// ApplierMetrics exposes the continuous-redo engine's recovery registry
+// (recovery.redo_drain and friends), for the replica facade's snapshot.
+func (r *Receiver) ApplierMetrics() *stats.Registry { return r.ap.Metrics() }
 
 // AppliedLSN is the LSN through which the replica has repeated history.
 func (r *Receiver) AppliedLSN() page.LSN { return r.ap.AppliedLSN() }
@@ -332,6 +341,11 @@ func (r *Receiver) applyBatch(recs []*wal.Record) error {
 	r.trackPending(recs)
 	r.batches.Inc()
 	r.records.Add(int64(len(recs)))
+	if lag := int64(r.primaryFlushed.Load()) - int64(r.ap.AppliedLSN()); lag > 0 {
+		r.lagHist.Observe(lag)
+	} else {
+		r.lagHist.Observe(0)
+	}
 	r.advanceApplied()
 	return nil
 }

@@ -1,0 +1,8 @@
+//go:build statsoff
+
+package stats
+
+// Enabled is false in the -tags statsoff build: histogram observations and
+// flight-recorder traces compile to nothing, giving the uninstrumented
+// baseline the CI overhead gate compares against.
+const Enabled = false

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the number of fixed log-scale buckets in a Histogram.
+// Bucket i holds observations whose value has bit length i — i.e. values in
+// [2^(i-1), 2^i) — with bucket 0 holding exactly the value 0. 64 buckets
+// cover the full non-negative int64 range, so nanosecond latencies from
+// sub-microsecond to centuries land without configuration.
+const HistBuckets = 64
+
+// histShards spreads each bucket's counter over independent cache lines.
+// Concurrent observers of similar values land in the same bucket, and a
+// single shared counter line would ping-pong between cores on the hottest
+// path (every parallel search observes the same ~tens-of-µs bucket); the
+// value's low bits — noise at nanosecond granularity — pick the shard.
+const histShards = 4
+
+// Histogram is a lock-free fixed-bucket log-scale histogram. Observe is a
+// single atomic add on one shard of the bucket counter (buckets are
+// cache-line padded like Counter and sharded so hot histograms neither
+// false-share nor true-share) plus a rarely-taken CAS to maintain the exact
+// maximum. Quantiles are read from the bucket counts and reported as the
+// bucket's upper bound (clamped to the observed max), so a reported p99 is
+// within 2x of the true p99 — the right fidelity for "where did the time
+// go" at zero hot-path cost.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [HistBuckets][histShards]Counter
+	max     atomic.Int64
+	_       [56]byte
+}
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	i := bits.Len64(uint64(v))
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper is the largest value bucket i can hold (0 for bucket 0,
+// 2^i - 1 otherwise). Exported for the boundary-exactness tests.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one value. Negative values clamp to 0. In the statsoff
+// build this compiles to nothing.
+func (h *Histogram) Observe(v int64) {
+	if !Enabled {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)][uint64(v)%histShards].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// bucketCount returns the total observations in bucket i across shards.
+func (h *Histogram) bucketCount(i int) int64 {
+	var n int64
+	for s := range h.buckets[i] {
+		n += h.buckets[i][s].Load()
+	}
+	return n
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.bucketCount(i)
+	}
+	return n
+}
+
+// Max returns the exact maximum observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) of the
+// observations: the upper edge of the bucket containing the rank-q
+// observation, clamped to the exact observed maximum. Returns 0 when the
+// histogram is empty. The snapshot is not atomic with respect to concurrent
+// Observe calls; each bucket count is individually consistent.
+func (h *Histogram) Quantile(q float64) int64 {
+	var counts [HistBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.bucketCount(i)
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i := range counts {
+		cum += counts[i]
+		if cum > rank {
+			upper := BucketUpper(i)
+			if m := h.max.Load(); upper > m {
+				upper = m
+			}
+			return upper
+		}
+	}
+	return h.max.Load()
+}
+
+// Reset zeroes every bucket and the maximum. Not atomic with respect to
+// concurrent Observe calls — reset is a test/bench-harness operation run at
+// quiesce points, exactly like Counter.Store(0).
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		for s := range h.buckets[i] {
+			h.buckets[i][s].Store(0)
+		}
+	}
+	h.max.Store(0)
+}
+
+// collectInto merges the histogram's derived values into out under the
+// given base name. The derived keys are emitted unconditionally (zeros when
+// empty) so that monitoring and the bench artifacts always see the full key
+// set.
+func (h *Histogram) collectInto(name string, out map[string]int64) {
+	out[name+"_count"] = h.Count()
+	out[name+"_p50"] = h.Quantile(0.50)
+	out[name+"_p95"] = h.Quantile(0.95)
+	out[name+"_p99"] = h.Quantile(0.99)
+	out[name+"_max"] = h.Max()
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the log2 bucket layout exactly: value v lands in
+// the bucket whose index is v's bit length, bucket upper edges are 2^i - 1,
+// and each boundary value is the last member of its bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 20, 21}, {1<<21 - 1, 21},
+		{int64(^uint64(0) >> 1), 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		if upper := BucketUpper(bucketOf(c.v)); c.v > upper {
+			t.Errorf("value %d exceeds its bucket upper %d", c.v, upper)
+		}
+	}
+	if BucketUpper(0) != 0 {
+		t.Errorf("BucketUpper(0) = %d, want 0", BucketUpper(0))
+	}
+	for i := 1; i < 63; i++ {
+		want := int64(1)<<uint(i) - 1
+		if got := BucketUpper(i); got != want {
+			t.Errorf("BucketUpper(%d) = %d, want %d", i, got, want)
+		}
+		// The boundary value 2^i belongs to the NEXT bucket.
+		if got := bucketOf(want + 1); got != i+1 {
+			t.Errorf("bucketOf(%d) = %d, want %d", want+1, got, i+1)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	requireEnabled(t)
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// 100 observations of 10 (bucket 4, upper 15) and 1 of 1000 (bucket 10,
+	// upper 1023): p50 reports bucket 4's upper bound, p99+ climbs to the
+	// outlier, and the max clamp keeps the report exact at the top.
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	h.Observe(1000)
+	if got := h.Count(); got != 101 {
+		t.Fatalf("Count = %d, want 101", got)
+	}
+	if got := h.Max(); got != 1000 {
+		t.Fatalf("Max = %d, want 1000", got)
+	}
+	if got := h.Quantile(0.50); got != 15 {
+		t.Errorf("p50 = %d, want 15 (bucket upper of 10)", got)
+	}
+	if got := h.Quantile(0.995); got != 1000 {
+		t.Errorf("p99.5 = %d, want 1000 (upper clamped to exact max)", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("p100 = %d, want 1000", got)
+	}
+	if got := h.Quantile(0); got != 15 {
+		t.Errorf("p0 = %d, want 15", got)
+	}
+
+	// Negative observations clamp to bucket 0.
+	var neg Histogram
+	neg.Observe(-5)
+	if got := neg.Quantile(0.5); got != 0 {
+		t.Errorf("negative observation: p50 = %d, want 0", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	requireEnabled(t)
+	var h Histogram
+	h.Observe(42)
+	h.Observe(7)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("Reset left state behind: count=%d max=%d", h.Count(), h.Max())
+	}
+	h.Observe(3)
+	if h.Count() != 1 || h.Max() != 3 {
+		t.Fatal("histogram unusable after Reset")
+	}
+}
+
+// TestRegistryReset covers the satellite fix: Registry.Reset must zero both
+// counters and histograms, where per-counter Store(0) resets miss the
+// latency distributions.
+func TestRegistryReset(t *testing.T) {
+	requireEnabled(t)
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	h := r.Histogram("x.lat")
+	c.Add(5)
+	h.Observe(100)
+	r.Reset()
+	snap := r.Snapshot()
+	for name, v := range snap {
+		if v != 0 {
+			t.Errorf("after Reset, %s = %d, want 0", name, v)
+		}
+	}
+	if len(snap) == 0 {
+		t.Fatal("snapshot lost its keys after Reset")
+	}
+}
+
+// TestHistogramSnapshotKeys pins the derived-key scheme the bench artifacts
+// and the CI gate grep for.
+func TestHistogramSnapshotKeys(t *testing.T) {
+	requireEnabled(t)
+	r := NewRegistry()
+	r.Histogram("gist.search").Observe(100)
+	snap := r.Snapshot()
+	for _, k := range []string{
+		"gist.search_count", "gist.search_p50", "gist.search_p95",
+		"gist.search_p99", "gist.search_max",
+	} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("snapshot missing derived key %s", k)
+		}
+	}
+	if snap["gist.search_count"] != 1 {
+		t.Errorf("count = %d, want 1", snap["gist.search_count"])
+	}
+	if snap["gist.search_max"] != 100 {
+		t.Errorf("max = %d, want 100", snap["gist.search_max"])
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines against
+// concurrent Quantile/Snapshot readers and a Reset, then verifies the final
+// totals. Run under -race this is the lock-freedom proof.
+func TestHistogramConcurrent(t *testing.T) {
+	requireEnabled(t)
+	r := NewRegistry()
+	h := r.Histogram("c.lat")
+	const (
+		writers = 8
+		perG    = 10000
+	)
+	stop := make(chan struct{})
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() { // concurrent snapshot reader
+		defer readerDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Snapshot()
+			_ = h.Quantile(0.99)
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(seed int64) {
+			defer writersWG.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(seed * int64(i%37))
+			}
+		}(int64(g + 1))
+	}
+	writersWG.Wait()
+	close(stop)
+	readerDone.Wait()
+	if got := h.Count(); got != writers*perG {
+		t.Fatalf("Count = %d, want %d", got, writers*perG)
+	}
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// OpTrace is one operation's flight-recorder entry: what the operation was,
+// how long it took, and where inside it the time was spent waiting. A trace
+// is immutable once recorded; the recorder stores pointers, so snapshots
+// are cheap copies.
+type OpTrace struct {
+	// Op is the operation kind ("search", "insert", "delete", "cursor",
+	// "commit", ...).
+	Op string
+	// Txn is the owning transaction's id (0 when none).
+	Txn uint64
+	// Start is the operation's wall-clock start, in Unix nanoseconds.
+	Start int64
+	// Duration is the operation's total latency in nanoseconds.
+	Duration int64
+
+	// Per-phase waits, in nanoseconds. Each brackets only the blocking
+	// path of its phase: an uncontended latch or a buffer hit contributes
+	// zero without reading the clock.
+	LatchWait int64 // blocked in node-latch acquisition (S or X)
+	LockWait  int64 // blocked in the lock manager (records, predicates, txn waits)
+	BufLoad   int64 // buffer-pool misses: disk reads + parks on in-flight loads
+	FlushWait int64 // commit only: append-to-durable group-commit wait
+
+	// Traversal shape.
+	NodeVisits   int32 // pages fetched by the operation
+	OptRestarts  int32 // optimistic-read validation failures
+	OptFallbacks int32 // optimistic visits that fell back to the S latch
+}
+
+// Default ring sizes for NewRecorder(0, ...).
+const (
+	DefaultRecentOps = 256
+	defaultSlowOps   = 64
+)
+
+// Recorder is the always-on op flight recorder: a fixed-size lock-free ring
+// of the most recent operation traces, plus a second ring pinning traces
+// whose duration crossed a slow-op threshold (so one burst of fast
+// operations cannot evict the evidence of a stall). Record costs one atomic
+// ticket increment and one pointer store; memory is bounded by the two ring
+// sizes times the size of an OpTrace.
+type Recorder struct {
+	// The read-mostly fields (slice headers, threshold) live apart from the
+	// ticket counters: every Record reads the slot headers, and a ticket
+	// increment sharing their cache line would force a miss on every one of
+	// those reads across cores.
+	slots     []atomic.Pointer[OpTrace]
+	slow      []atomic.Pointer[OpTrace]
+	threshold int64 // nanoseconds; 0 disables the slow ring
+	_         [64]byte
+	next      atomic.Uint64
+	_         [56]byte
+	slowNext  atomic.Uint64
+	_         [56]byte
+}
+
+// NewRecorder builds a recorder keeping the last size traces (0 = the
+// DefaultRecentOps). slowThreshold, when positive, additionally pins every
+// trace at least that slow into a separate ring.
+func NewRecorder(size int, slowThreshold time.Duration) *Recorder {
+	if size <= 0 {
+		size = DefaultRecentOps
+	}
+	return &Recorder{
+		slots:     make([]atomic.Pointer[OpTrace], size),
+		slow:      make([]atomic.Pointer[OpTrace], defaultSlowOps),
+		threshold: slowThreshold.Nanoseconds(),
+	}
+}
+
+// Threshold returns the slow-op pin threshold (0 = disabled).
+func (r *Recorder) Threshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.threshold)
+}
+
+// Record stores one finished operation's trace. The trace must not be
+// mutated afterwards. Safe for concurrent use; a nil recorder drops the
+// trace.
+func (r *Recorder) Record(t *OpTrace) {
+	if r == nil || !Enabled {
+		return
+	}
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+	if r.threshold > 0 && t.Duration >= r.threshold {
+		j := r.slowNext.Add(1) - 1
+		r.slow[j%uint64(len(r.slow))].Store(t)
+	}
+}
+
+// Recent returns the retained traces, oldest first. The result is a copy;
+// concurrent Record calls may overwrite slots mid-read, in which case a
+// newer trace appears in an older position — each individual trace is
+// always internally consistent.
+func (r *Recorder) Recent() []OpTrace {
+	if r == nil {
+		return nil
+	}
+	return drainRing(r.slots, r.next.Load())
+}
+
+// Slow returns the pinned over-threshold traces, oldest first.
+func (r *Recorder) Slow() []OpTrace {
+	if r == nil {
+		return nil
+	}
+	return drainRing(r.slow, r.slowNext.Load())
+}
+
+// drainRing copies the ring's occupied slots in write order.
+func drainRing(slots []atomic.Pointer[OpTrace], next uint64) []OpTrace {
+	n := uint64(len(slots))
+	start := uint64(0)
+	if next > n {
+		start = next - n
+	}
+	out := make([]OpTrace, 0, next-start)
+	for i := start; i < next; i++ {
+		if t := slots[i%n].Load(); t != nil {
+			out = append(out, *t)
+		}
+	}
+	return out
+}

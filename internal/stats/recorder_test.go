@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func trace(op string, i int, d time.Duration) *OpTrace {
+	return &OpTrace{Op: op, Txn: uint64(i), Duration: d.Nanoseconds()}
+}
+
+// requireEnabled skips tests that depend on instrumentation being compiled
+// in, so `go test -tags statsoff` stays green.
+func requireEnabled(t *testing.T) {
+	t.Helper()
+	if !Enabled {
+		t.Skip("statsoff build: instrumentation compiled out")
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(trace("x", 1, time.Millisecond))
+	if got := r.Recent(); got != nil {
+		t.Errorf("nil recorder Recent = %v, want nil", got)
+	}
+	if got := r.Slow(); got != nil {
+		t.Errorf("nil recorder Slow = %v, want nil", got)
+	}
+	if got := r.Threshold(); got != 0 {
+		t.Errorf("nil recorder Threshold = %v, want 0", got)
+	}
+}
+
+func TestRecorderDefaults(t *testing.T) {
+	requireEnabled(t)
+	r := NewRecorder(0, 0)
+	if len(r.slots) != DefaultRecentOps {
+		t.Errorf("default ring size = %d, want %d", len(r.slots), DefaultRecentOps)
+	}
+	if r.Threshold() != 0 {
+		t.Errorf("Threshold = %v, want 0", r.Threshold())
+	}
+	// With threshold 0 nothing pins, however slow the op.
+	r.Record(trace("x", 1, time.Hour))
+	if got := r.Slow(); len(got) != 0 {
+		t.Errorf("threshold 0 pinned %d traces, want 0", len(got))
+	}
+}
+
+// TestRecorderOverwriteOrder fills a 4-slot ring with 10 traces and checks
+// that exactly the last 4 survive, oldest first.
+func TestRecorderOverwriteOrder(t *testing.T) {
+	requireEnabled(t)
+	r := NewRecorder(4, 0)
+	for i := 0; i < 10; i++ {
+		r.Record(trace("op", i, time.Duration(i)))
+	}
+	got := r.Recent()
+	if len(got) != 4 {
+		t.Fatalf("Recent returned %d traces, want 4", len(got))
+	}
+	for k, tr := range got {
+		if want := uint64(6 + k); tr.Txn != want {
+			t.Errorf("Recent[%d].Txn = %d, want %d", k, tr.Txn, want)
+		}
+	}
+}
+
+func TestRecorderPartialRing(t *testing.T) {
+	requireEnabled(t)
+	r := NewRecorder(8, 0)
+	r.Record(trace("a", 1, 1))
+	r.Record(trace("b", 2, 2))
+	got := r.Recent()
+	if len(got) != 2 || got[0].Op != "a" || got[1].Op != "b" {
+		t.Fatalf("partial ring Recent = %+v, want [a b]", got)
+	}
+}
+
+// TestRecorderSlowPinning is deterministic because the threshold compares the
+// caller-supplied Duration — no clock is involved.
+func TestRecorderSlowPinning(t *testing.T) {
+	requireEnabled(t)
+	r := NewRecorder(4, 10*time.Millisecond)
+	durations := []time.Duration{
+		1 * time.Millisecond,  // fast
+		10 * time.Millisecond, // exactly at threshold: pinned (>=)
+		3 * time.Millisecond,  // fast
+		25 * time.Millisecond, // slow
+		2 * time.Millisecond,  // fast
+	}
+	for i, d := range durations {
+		r.Record(trace("op", i, d))
+	}
+	slow := r.Slow()
+	if len(slow) != 2 {
+		t.Fatalf("Slow returned %d traces, want 2: %+v", len(slow), slow)
+	}
+	if slow[0].Txn != 1 || slow[1].Txn != 3 {
+		t.Errorf("Slow order = [%d %d], want [1 3]", slow[0].Txn, slow[1].Txn)
+	}
+	// The recent ring holds the last 4 regardless of speed.
+	if got := r.Recent(); len(got) != 4 || got[0].Txn != 1 {
+		t.Errorf("Recent = %+v, want txns 1..4", got)
+	}
+}
+
+// TestRecorderSlowSurvivesFastBurst is the reason the slow ring exists: a
+// stall's evidence must outlive an arbitrarily long burst of fast ops.
+func TestRecorderSlowSurvivesFastBurst(t *testing.T) {
+	requireEnabled(t)
+	r := NewRecorder(4, 10*time.Millisecond)
+	r.Record(trace("stall", 999, time.Second))
+	for i := 0; i < 1000; i++ {
+		r.Record(trace("fast", i, time.Microsecond))
+	}
+	if got := r.Recent(); len(got) != 4 || got[0].Op != "fast" {
+		t.Fatalf("Recent should hold only the burst, got %+v", got)
+	}
+	slow := r.Slow()
+	if len(slow) != 1 || slow[0].Txn != 999 {
+		t.Fatalf("stall evicted from slow ring: %+v", slow)
+	}
+}
+
+// TestRecorderConcurrent runs Record against Recent/Slow readers under -race
+// and checks that every drained trace is internally consistent (Txn encodes
+// the Duration, so a torn trace would mismatch).
+func TestRecorderConcurrent(t *testing.T) {
+	requireEnabled(t)
+	r := NewRecorder(32, 500)
+	const (
+		writers = 4
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tr := range r.Recent() {
+				if tr.Duration != int64(tr.Txn) {
+					t.Errorf("torn trace: txn=%d duration=%d", tr.Txn, tr.Duration)
+					return
+				}
+			}
+			_ = r.Slow()
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				d := int64(base*perG + i)
+				r.Record(&OpTrace{Op: "w", Txn: uint64(d), Duration: d})
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := len(r.Recent()); got != 32 {
+		t.Fatalf("final Recent size = %d, want 32", got)
+	}
+}
+
+func TestRecorderRegisteredSizes(t *testing.T) {
+	requireEnabled(t)
+	for _, size := range []int{1, 3, 256} {
+		r := NewRecorder(size, 0)
+		for i := 0; i < size*2+1; i++ {
+			r.Record(trace("s", i, 0))
+		}
+		if got := len(r.Recent()); got != size {
+			t.Errorf("size %d: Recent = %d traces", size, got)
+		}
+	}
+}
+
+func TestRecorderSlowOnlyOverThreshold(t *testing.T) {
+	requireEnabled(t)
+	r := NewRecorder(2, 50*time.Millisecond)
+	r.Record(&OpTrace{Op: "search", Duration: int64(2 * time.Millisecond)})
+	r.Record(&OpTrace{Op: "insert", Duration: int64(80 * time.Millisecond)})
+	slow := r.Slow()
+	if len(slow) != 1 || slow[0].Op != "insert" {
+		t.Fatalf("Slow = %+v, want only the 80ms insert", slow)
+	}
+}

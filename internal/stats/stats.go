@@ -31,6 +31,10 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
+// Inc64 increments the counter by one and returns the new value, for
+// callers that derive sampling decisions from a count they bump anyway.
+func (c *Counter) Inc64() int64 { return c.v.Add(1) }
+
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
@@ -40,11 +44,12 @@ func (c *Counter) Store(n int64) { c.v.Store(n) }
 // GaugeFunc computes a point-in-time value at snapshot time.
 type GaugeFunc func() int64
 
-// Registry is a named set of counters and gauges.
+// Registry is a named set of counters, gauges and histograms.
 type Registry struct {
 	mu       sync.Mutex // guards registration only
 	counters atomic.Pointer[map[string]*Counter]
 	gauges   atomic.Pointer[map[string]GaugeFunc]
+	hists    atomic.Pointer[map[string]*Histogram]
 }
 
 // NewRegistry returns an empty registry.
@@ -52,8 +57,10 @@ func NewRegistry() *Registry {
 	r := &Registry{}
 	c := make(map[string]*Counter)
 	g := make(map[string]GaugeFunc)
+	h := make(map[string]*Histogram)
 	r.counters.Store(&c)
 	r.gauges.Store(&g)
+	r.hists.Store(&h)
 	return r
 }
 
@@ -78,6 +85,30 @@ func (r *Registry) Counter(name string) *Counter {
 	next[name] = c
 	r.counters.Store(&next)
 	return c
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed. Like Counter, the returned pointer is stable; callers cache it in
+// a struct field and Observe lock-free. Snapshots surface the histogram as
+// derived keys: name_count, name_p50, name_p95, name_p99, name_max.
+func (r *Registry) Histogram(name string) *Histogram {
+	if h, ok := (*r.hists.Load())[name]; ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.hists.Load()
+	if h, ok := old[name]; ok {
+		return h
+	}
+	next := make(map[string]*Histogram, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	h := &Histogram{}
+	next[name] = h
+	r.hists.Store(&next)
+	return h
 }
 
 // Gauge registers fn to be evaluated at snapshot time under name.
@@ -112,6 +143,22 @@ func (r *Registry) CollectInto(out map[string]int64) {
 	}
 	for name, g := range *r.gauges.Load() {
 		out[name] = g()
+	}
+	for name, h := range *r.hists.Load() {
+		h.collectInto(name, out)
+	}
+}
+
+// Reset zeroes every counter and histogram in the registry (gauges are
+// computed, so there is nothing to reset). It is the one call test and
+// bench harnesses should use between measurement cells: resetting counters
+// alone (Counter.Store) leaves stale latency distributions behind.
+func (r *Registry) Reset() {
+	for _, c := range *r.counters.Load() {
+		c.Store(0)
+	}
+	for _, h := range *r.hists.Load() {
+		h.Reset()
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lock"
 	"repro/internal/page"
@@ -92,6 +93,7 @@ type Manager struct {
 	commits      *stats.Counter
 	aborts       *stats.Counter
 	commitForces *stats.Counter
+	flushHist    *stats.Histogram
 }
 
 // NewManager creates a transaction manager over the given log, lock manager
@@ -110,6 +112,9 @@ func NewManager(log *wal.Log, locks *lock.Manager, preds *predicate.Manager) *Ma
 	// Paired with wal.syncs: commit_forces / syncs is the group-commit
 	// batching factor the E15 experiment tracks.
 	m.commitForces = m.reg.Counter("txn.commit_forces")
+	// Append→durable latency seen by committers: the group-commit park in
+	// CommitCtx, from AppendCommit's publish to the flusher covering it.
+	m.flushHist = m.reg.Histogram("txn.commit_flush")
 	m.reg.Gauge("txn.active", func() int64 {
 		m.mu.Lock()
 		defer m.mu.Unlock()
@@ -333,6 +338,25 @@ type Txn struct {
 	// released the transaction's locks. The synchronous commit paths never
 	// invoke it — the caller handles those inline.
 	durableHook func()
+
+	// flushWait is the nanoseconds CommitCtx spent parked on the
+	// group-commit flush (atomic: the background completion of a pending
+	// commit writes it concurrently with the facade reading it).
+	flushWait atomic.Int64
+}
+
+// FlushWait returns the nanoseconds the commit spent waiting for its commit
+// record to become durable (0 before commit, for read-only transactions, and
+// in the statsoff build).
+func (tx *Txn) FlushWait() int64 { return tx.flushWait.Load() }
+
+// Wrote reports whether the transaction has logged anything beyond its
+// Begin record. Search-only transactions stay false, which lets
+// instrumentation skip commit tracing on the read path.
+func (tx *Txn) Wrote() bool {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.lastLSN != tx.firstLSN
 }
 
 // ID returns the transaction id.
@@ -590,6 +614,9 @@ func (tx *Txn) CommitCtx(ctx context.Context) error {
 		return ErrNotActive
 	}
 	tx.state = Committed
+	// Logged nothing beyond Begin: the flush-wait timing below is skipped
+	// for such transactions, keeping the read path free of clock reads.
+	wrote := tx.lastLSN != tx.firstLSN
 	tx.mu.Unlock()
 
 	if tx.readOnly {
@@ -606,8 +633,20 @@ func (tx *Txn) CommitCtx(ctx context.Context) error {
 	// each paying one.
 	lsn, forced := tx.logCommit()
 	tx.mgr.commitForces.Inc()
+	var waitStart time.Time
+	if stats.Enabled && wrote {
+		waitStart = time.Now()
+	}
+	noteFlushWait := func() {
+		if stats.Enabled && wrote {
+			w := time.Since(waitStart).Nanoseconds()
+			tx.flushWait.Store(w)
+			tx.mgr.flushHist.Observe(w)
+		}
+	}
 	select {
 	case err := <-forced:
+		noteFlushWait()
 		if err != nil {
 			return fmt.Errorf("txn %d commit force: %w", tx.id, err)
 		}
@@ -615,6 +654,7 @@ func (tx *Txn) CommitCtx(ctx context.Context) error {
 		if tx.mgr.log.FlushedLSN() < lsn {
 			go func() {
 				if err := <-forced; err == nil {
+					noteFlushWait()
 					tx.finishCommit()
 					tx.mu.Lock()
 					h := tx.durableHook
@@ -629,6 +669,7 @@ func (tx *Txn) CommitCtx(ctx context.Context) error {
 			return fmt.Errorf("%w (txn %d): %v", ErrCommitPending, tx.id, ctx.Err())
 		}
 		// Durable before the deadline was noticed: committed.
+		noteFlushWait()
 	}
 	tx.finishCommit()
 	return nil

@@ -125,6 +125,7 @@ type Log struct {
 	fsyncNanos   *stats.Counter // time spent in fsync, cumulative
 	groupWaits   *stats.Counter // committers parked on the commit queue
 	coalesced    *stats.Counter // commit records published with their force request
+	fsyncHist    *stats.Histogram // per-fsync latency distribution
 }
 
 // stageSlot is one ring slot of the reservation→seal handoff buffer. seq
@@ -178,6 +179,7 @@ func (l *Log) init() {
 	l.batchRecords = l.reg.Counter("wal.batch_records")
 	l.batchBytes = l.reg.Counter("wal.batch_bytes")
 	l.fsyncNanos = l.reg.Counter("wal.fsync_nanos")
+	l.fsyncHist = l.reg.Histogram("wal.fsync")
 	l.groupWaits = l.reg.Counter("wal.group_waits")
 	l.coalesced = l.reg.Counter("wal.commit_coalesced")
 	l.reg.Gauge("wal.stage_slots", func() int64 { return int64(n) })
@@ -829,7 +831,9 @@ func (l *Log) flushBatch() (page.LSN, error) {
 		l.failPermanently(fmt.Errorf("wal: fsync: %w", serr))
 		return 0, l.failedErr()
 	}
-	l.fsyncNanos.Add(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start).Nanoseconds()
+	l.fsyncNanos.Add(elapsed)
+	l.fsyncHist.Observe(elapsed)
 	l.goodOffset += int64(len(buf))
 	l.flushed.Store(uint64(covers))
 	l.notifyFlushed()

@@ -122,10 +122,12 @@ func (r *ReplicaDB) WaitApplied(ctx context.Context, lsn page.LSN) error {
 func (r *ReplicaDB) Err() error { return r.recv.Err() }
 
 // Metrics merges the replica engine's counter registries, including the
-// receiver's repl.* counters and the apply-lag gauge.
+// receiver's repl.* counters (with the repl.apply_lag histogram), the
+// continuous-redo applier's recovery.* registry, and the apply-lag gauge.
 func (r *ReplicaDB) Metrics() map[string]int64 {
 	return stats.Merged(
 		r.recv.Metrics(),
+		r.recv.ApplierMetrics(),
 		r.tm.Metrics(),
 		r.locks.Metrics(),
 		r.preds.Metrics(),
@@ -133,6 +135,7 @@ func (r *ReplicaDB) Metrics() map[string]int64 {
 		r.log.Metrics(),
 		storage.MetricsOf(r.disk),
 		latch.Metrics(),
+		gist.Metrics(),
 	)
 }
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# statsoff_gate.sh — proves the always-on stats instrumentation is cheap.
+#
+# Builds the root test binary twice — normal and `-tags statsoff` (histograms
+# and the flight recorder compiled out to dead code) — then alternates
+# executions of the parallel read-path benchmark between the two binaries so
+# machine drift hits both equally, and compares the best (minimum) ns/op per
+# benchmark. Fails when the instrumented build's best run is more than
+# LIMIT_PCT percent slower than the statsoff build's.
+#
+# Single runs on a shared VM are ±5% noisy — far above the 3% limit — so the
+# gate takes many short interleaved runs and lets the minimum converge on the
+# true floor of each build.
+#
+# Environment knobs: COUNT (runs per build, default 15), BENCHTIME (per run,
+# default 500ms), LIMIT_PCT (gate, default 3), BENCH (regexp, default
+# BenchmarkSearchParallel/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-15}"
+BENCHTIME="${BENCHTIME:-500ms}"
+LIMIT_PCT="${LIMIT_PCT:-3}"
+BENCH="${BENCH:-BenchmarkSearchParallel/}"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "building instrumented and statsoff test binaries..."
+go test -c -o "$workdir/on.test" .
+go test -tags statsoff -c -o "$workdir/off.test" .
+
+run_once() { # $1 = binary -> appends "name ns/op" lines to $2
+  "$1" -test.run '^$' -test.bench "$BENCH" -test.cpu 4 \
+    -test.benchtime "$BENCHTIME" |
+    awk '$1 ~ /^Benchmark/ && $4 == "ns/op" { print $1, $3 }' >> "$2"
+}
+
+echo "interleaving $COUNT runs per build ($BENCHTIME each)..."
+for i in $(seq "$COUNT"); do
+  run_once "$workdir/off.test" "$workdir/off.ns"
+  run_once "$workdir/on.test" "$workdir/on.ns"
+done
+
+# The estimate is the per-benchmark-name minimum: pooling sub-benchmarks
+# with different baselines would let their mix decide the verdict, and on a
+# noisy VM the minimum of interleaved runs is the estimator least polluted
+# by scheduler preemption — both builds are filtered identically, so the
+# comparison stays fair.
+awk -v lim="$LIMIT_PCT" '
+  FNR == 1 { f++ }
+  f == 1 { if (!(($1 in off) && off[$1] <= $2)) off[$1] = $2 }
+  f == 2 { if (!(($1 in on)  && on[$1]  <= $2)) on[$1]  = $2 }
+  END {
+    if (!length(off) || !length(on)) {
+      print "no benchmark output" > "/dev/stderr"; exit 1
+    }
+    bad = 0
+    for (name in off) {
+      pct = (on[name] - off[name]) / off[name] * 100
+      printf "%-50s statsoff=%g instrumented=%g  %+.2f%% (limit %s%%)\n",
+             name, off[name], on[name], pct, lim
+      if (pct > lim) bad = 1
+    }
+    exit bad
+  }' "$workdir/off.ns" "$workdir/on.ns"

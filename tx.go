@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/gist"
 	"repro/internal/lock"
+	"repro/internal/stats"
 	"repro/internal/txn"
 )
 
@@ -33,11 +35,35 @@ func (tx *Tx) ID() uint64 { return uint64(tx.inner.ID()) }
 // Commit makes the transaction's effects durable and visible, releasing
 // its locks and predicates.
 func (tx *Tx) Commit() error {
+	done := tx.traceCommit()
 	if err := tx.inner.Commit(); err != nil {
 		return err
 	}
+	done()
 	tx.finishTrees()
 	return nil
+}
+
+// traceCommit arms a flight-recorder trace for the commit; the returned
+// function records it (call only on successful commit). A no-op returning a
+// no-op in the statsoff build and for transactions that logged nothing —
+// read-path commits carry no durability wait worth a ring slot, and skipping
+// them keeps the search hot path free of the extra clock reads.
+func (tx *Tx) traceCommit() func() {
+	if !stats.Enabled || !tx.inner.Wrote() {
+		return func() {}
+	}
+	start := time.Now().UnixNano()
+	return func() {
+		end := time.Now().UnixNano()
+		tx.db.recorder.Record(&stats.OpTrace{
+			Op:        "commit",
+			Txn:       uint64(tx.inner.ID()),
+			Start:     start,
+			Duration:  end - start,
+			FlushWait: tx.inner.FlushWait(),
+		})
+	}
 }
 
 // CommitCtx is Commit with a deadline on the durability wait. Three
@@ -58,9 +84,11 @@ func (tx *Tx) CommitCtx(ctx context.Context) error {
 	// RIDs be reused while the deleting transaction can still become a
 	// restart loser.
 	tx.inner.SetDurableHook(tx.finishTrees)
+	done := tx.traceCommit()
 	if err := tx.inner.CommitCtx(ctx); err != nil {
 		return err
 	}
+	done()
 	tx.finishTrees()
 	return nil
 }
